@@ -1,0 +1,201 @@
+// Package repro's root benchmark harness: one benchmark per evaluation
+// table and figure of the FatPaths paper, each regenerating the
+// corresponding rows via internal/experiments (quick scale; run
+// cmd/experiments -full for paper-scale numbers), plus microbenchmarks of
+// the core building blocks (layer construction, forwarding, diversity
+// metrics, the simulator's event loop).
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/diversity"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/layers"
+	"repro/internal/netsim"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// benchExperiment runs one registered experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := experiments.Options{Quick: true, Seed: 42}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab, err := e.Run(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", tab)
+		}
+	}
+}
+
+// Evaluation figures and tables (§IV, §VI, §VII, Appendix D).
+
+func BenchmarkFig2Throughput(b *testing.B)    { benchExperiment(b, "fig2") }
+func BenchmarkFig4Collisions(b *testing.B)    { benchExperiment(b, "fig4") }
+func BenchmarkFig6MinimalPaths(b *testing.B)  { benchExperiment(b, "fig6") }
+func BenchmarkFig7NonMinimal(b *testing.B)    { benchExperiment(b, "fig7") }
+func BenchmarkFig8Interference(b *testing.B)  { benchExperiment(b, "fig8") }
+func BenchmarkFig9MAT(b *testing.B)           { benchExperiment(b, "fig9") }
+func BenchmarkFig10Cost(b *testing.B)         { benchExperiment(b, "fig10") }
+func BenchmarkFig11Adversarial(b *testing.B)  { benchExperiment(b, "fig11") }
+func BenchmarkFig12LayerSweep(b *testing.B)   { benchExperiment(b, "fig12") }
+func BenchmarkFig13LargeScale(b *testing.B)   { benchExperiment(b, "fig13") }
+func BenchmarkFig14TCP(b *testing.B)          { benchExperiment(b, "fig14") }
+func BenchmarkFig15Distribution(b *testing.B) { benchExperiment(b, "fig15") }
+func BenchmarkFig16RhoSweep(b *testing.B)     { benchExperiment(b, "fig16") }
+func BenchmarkFig17Stencil(b *testing.B)      { benchExperiment(b, "fig17") }
+func BenchmarkFig19Scaling(b *testing.B)      { benchExperiment(b, "fig19") }
+func BenchmarkFig20Lambda(b *testing.B)       { benchExperiment(b, "fig20") }
+func BenchmarkFig21NDPLambda(b *testing.B)    { benchExperiment(b, "fig21") }
+func BenchmarkTable4CDPPI(b *testing.B)       { benchExperiment(b, "tab4") }
+func BenchmarkTable5Topologies(b *testing.B)  { benchExperiment(b, "tab5") }
+
+// Ablations called out in DESIGN.md §4.
+
+func BenchmarkAblationTransport(b *testing.B)         { benchExperiment(b, "abl-transport") }
+func BenchmarkAblationLayerConstruction(b *testing.B) { benchExperiment(b, "abl-construction") }
+func BenchmarkAblationRandomization(b *testing.B)     { benchExperiment(b, "abl-randomization") }
+
+// Extensions: fault tolerance (§V-G), MPTCP striping (§VIII-A2), and
+// forwarding-state sizing (§V-D/E).
+
+func BenchmarkExtFailures(b *testing.B)    { benchExperiment(b, "ext-failures") }
+func BenchmarkExtMPTCP(b *testing.B)       { benchExperiment(b, "ext-mptcp") }
+func BenchmarkExtTableSizing(b *testing.B) { benchExperiment(b, "ext-tables") }
+
+// Microbenchmarks of the core building blocks.
+
+func BenchmarkLayerConstructionRandom(b *testing.B) {
+	sf, err := topo.SlimFly(11, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := graph.NewRand(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := layers.Random(sf.G, 9, 0.6, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLayerConstructionMinInterference(b *testing.B) {
+	sf, err := topo.SlimFly(5, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := graph.NewRand(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := layers.MinInterference(sf.G, layers.MinInterferenceConfig{N: 4, ExtraHops: 1}, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForwardingTables(b *testing.B) {
+	sf, err := topo.SlimFly(11, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := graph.NewRand(1)
+	ls, err := layers.Random(sf.G, 9, 0.6, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		layers.BuildForwarding(ls, rng)
+	}
+}
+
+func BenchmarkDisjointPathsCDP(b *testing.B) {
+	sf, err := topo.SlimFly(11, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := graph.NewRand(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, t := graph.SampleDistinctPair(rng, sf.Nr())
+		sf.G.DisjointPathsBounded([]int{s}, []int{t}, graph.DisjointPathsOpts{MaxLen: 3})
+	}
+}
+
+func BenchmarkRankConnectivity(b *testing.B) {
+	sf, err := topo.SlimFly(5, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := graph.NewRand(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, t := graph.SampleDistinctPair(rng, sf.Nr())
+		diversity.EdgeConnectivityBounded(sf.G, s, t, 3, rng)
+	}
+}
+
+func BenchmarkSimulatorEventThroughput(b *testing.B) {
+	// Measures raw packet-event throughput: a saturated permutation on a
+	// small Slim Fly under the purified transport.
+	sf, err := topo.SlimFly(5, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fab, err := core.Build(sf, core.DefaultConfig(sf))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := graph.NewRand(2)
+	pat := traffic.RandomPermutation(rng, sf.N())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim := fab.NewSimulation(netsim.NDPDefaults())
+		for _, fl := range pat.Flows {
+			sim.AddFlow(netsim.FlowSpec{Src: fl.Src, Dst: fl.Dst, Bytes: 128 << 10})
+		}
+		res := sim.Run(2 * netsim.Second)
+		if netsim.CompletedFraction(res) < 0.99 {
+			b.Fatal("flows did not complete")
+		}
+	}
+}
+
+func BenchmarkSlimFlyConstruction(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := topo.SlimFly(19, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWorstCasePattern(b *testing.B) {
+	sf, err := topo.SlimFly(7, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := graph.NewRand(3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		traffic.WorstCase(sf, 0.55, rng)
+	}
+}

@@ -1,0 +1,65 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures. Each experiment prints the same rows/series the corresponding
+// figure plots.
+//
+// Usage:
+//
+//	go run ./cmd/experiments -list
+//	go run ./cmd/experiments -run fig4
+//	go run ./cmd/experiments -run all -full -seed 7
+//
+// Quick mode (default) uses small topologies; -full uses the paper's
+// N≈10k class where feasible (expect minutes for the simulation figures).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		run  = flag.String("run", "", "experiment ID to run (or 'all')")
+		list = flag.Bool("list", false, "list available experiments")
+		full = flag.Bool("full", false, "paper-scale runs instead of quick mode")
+		seed = flag.Int64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("available experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-18s %s\n", e.ID, e.Title)
+		}
+		if *run == "" {
+			fmt.Println("\nrun one with: go run ./cmd/experiments -run <id>")
+		}
+		return
+	}
+
+	opts := experiments.Options{Quick: !*full, Seed: *seed}
+	var todo []experiments.Experiment
+	if *run == "all" {
+		todo = experiments.All()
+	} else {
+		e, err := experiments.ByID(*run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		todo = []experiments.Experiment{e}
+	}
+	for _, e := range todo {
+		start := time.Now()
+		tab, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("# %s — %s (%.1fs)\n%s\n", e.ID, e.Title, time.Since(start).Seconds(), tab)
+	}
+}

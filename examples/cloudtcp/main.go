@@ -1,0 +1,59 @@
+// Cloud datacenter example (§VII-C): a full TCP stack over an Xpander
+// fabric with pFabric web-search flow sizes and Poisson arrivals, comparing
+// plain TCP, DCTCP (ECN), and TCP with FatPaths non-minimal multipathing —
+// the cloud-infrastructure setting the paper targets alongside HPC.
+//
+//	go run ./examples/cloudtcp
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/netsim"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+func main() {
+	rng := graph.NewRand(1)
+	xp, err := topo.Xpander(8, 8, 0, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("topology: %s — %d endpoints (expander datacenter)\n", xp.Name, xp.N())
+	fmt.Printf("pFabric web-search flow sizes, mean %.2f MB, lambda = 200 flows/s/endpoint\n\n",
+		traffic.PFabricMean()/1e6)
+
+	type series struct {
+		label string
+		tr    netsim.Transport
+		lb    netsim.LoadBalance
+		cfg   core.Config
+	}
+	runs := []series{
+		{"TCP + ECMP", netsim.TransportTCP, netsim.LBECMP, core.Config{NumLayers: 1, Rho: 1}},
+		{"DCTCP + ECMP", netsim.TransportDCTCP, netsim.LBECMP, core.Config{NumLayers: 1, Rho: 1}},
+		{"TCP + FatPaths", netsim.TransportTCP, netsim.LBFatPaths, core.DefaultConfig(xp)},
+		{"DCTCP + FatPaths", netsim.TransportDCTCP, netsim.LBFatPaths, core.DefaultConfig(xp)},
+	}
+	for _, s := range runs {
+		fab, err := core.Build(xp, s.cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		simCfg := netsim.TCPDefaults(s.tr)
+		simCfg.LB = s.lb
+		wl := core.Workload{
+			Pattern:  traffic.RandomizeMapping(traffic.RandomUniform(rng, xp.N()), rng),
+			FlowSize: traffic.PFabricFlowSize,
+			Lambda:   200,
+		}
+		res := fab.RunWorkload(simCfg, wl, 15*netsim.Second, 4)
+		fct := netsim.SummarizeFCT(res)
+		fmt.Printf("%-18s FCT mean %7.3f ms  p50 %7.3f  p99 %8.3f  completed %.0f%%\n",
+			s.label, fct.Mean, fct.P50, fct.P99, 100*netsim.CompletedFraction(res))
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/traffic"
+)
+
+// MPTCP-style subflow striping (§VIII-A2): FatPaths can use Multipath TCP
+// as its congestion-control substrate, with each subflow owning one layer.
+// We model the data plane exactly — k TCP subflows per message, each pinned
+// to a distinct layer carrying 1/k of the bytes — and approximate MPTCP's
+// coupled congestion control by the subflows' independent windows (the
+// LIA coupling mainly matters on shared bottlenecks, where independent
+// windows are slightly more aggressive; the routing behaviour under study
+// is unaffected). The message completes when its slowest subflow does.
+
+// MPTCPResult reports one striped message.
+type MPTCPResult struct {
+	Src, Dst int32
+	Bytes    int64
+	Done     bool
+	FCT      netsim.Time
+	Subflows int
+}
+
+// RunWorkloadMPTCP simulates a pattern where every message is striped over
+// up to k subflows on distinct layers. Layers that cannot reach the
+// destination's router are skipped; a message with no usable layer falls
+// back to a single layer-0 subflow.
+func (f *Fabric) RunWorkloadMPTCP(simCfg netsim.Config, pat traffic.Pattern, bytes int64, k int, horizon netsim.Time, seed int64) ([]MPTCPResult, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("core: k=%d subflows", k)
+	}
+	if simCfg.Transport == netsim.TransportNDP {
+		return nil, fmt.Errorf("core: MPTCP striping models TCP-family transports")
+	}
+	simCfg.Seed = seed
+	sim := f.NewSimulation(simCfg)
+	type msg struct {
+		src, dst int32
+		subs     []int // flow result indices
+	}
+	var msgs []msg
+	flowCount := 0
+	for _, fl := range pat.Flows {
+		rs := f.Topo.RouterOf(int(fl.Src))
+		rt := f.Topo.RouterOf(int(fl.Dst))
+		var usable []int8
+		for l := 0; l < f.Fwd.NumLayers() && len(usable) < k; l++ {
+			if rs == rt || f.Fwd.Reachable(l, rs, rt) {
+				usable = append(usable, int8(l))
+			}
+		}
+		if len(usable) == 0 {
+			usable = []int8{0}
+		}
+		per := bytes / int64(len(usable))
+		if per < 1 {
+			per = 1
+		}
+		m := msg{src: fl.Src, dst: fl.Dst}
+		for i, layer := range usable {
+			b := per
+			if i == len(usable)-1 {
+				b = bytes - per*int64(len(usable)-1)
+			}
+			sim.AddFlow(netsim.FlowSpec{
+				Src: fl.Src, Dst: fl.Dst, Bytes: b,
+				Pinned: true, PinLayer: layer,
+			})
+			m.subs = append(m.subs, flowCount)
+			flowCount++
+		}
+		msgs = append(msgs, m)
+	}
+	res := sim.Run(horizon)
+	out := make([]MPTCPResult, 0, len(msgs))
+	for _, m := range msgs {
+		r := MPTCPResult{Src: m.src, Dst: m.dst, Bytes: bytes, Done: true, Subflows: len(m.subs)}
+		for _, idx := range m.subs {
+			sub := res[idx]
+			if !sub.Done {
+				r.Done = false
+				break
+			}
+			if sub.FCT() > r.FCT {
+				r.FCT = sub.FCT()
+			}
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,265 @@
+package diversity
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// This file implements Appendix B-C of the paper: the randomized
+// linear-algebraic length-limited connectivity computation adapted from
+// Cheung, Lau and Leung. Vertices carry vectors over a finite field F;
+// pairwise-orthogonal unit vectors are injected at the source's neighbors
+// and propagated through random edge coefficients via the fixed-point
+// iteration F = F·K + Ps (Eq. 15). After l iterations the rank of the
+// columns selected at the sink's neighbors equals, with high probability,
+// the number of disjoint paths of length at most l+1 (Theorem 2).
+//
+// The field is GF(p) with p = 2³¹ − 1, large enough that random degeneracy
+// is negligible at the radixes used here; arithmetic stays within uint64.
+
+const fieldP uint64 = 2147483647 // 2^31 - 1, prime
+
+func fmul(a, b uint64) uint64 { return a * b % fieldP }
+func fadd(a, b uint64) uint64 { return (a + b) % fieldP }
+
+func fsub(a, b uint64) uint64 {
+	if a >= b {
+		return a - b
+	}
+	return a + fieldP - b
+}
+
+// finv computes the multiplicative inverse via Fermat's little theorem.
+func finv(a uint64) uint64 {
+	// a^(p-2) mod p
+	var r uint64 = 1
+	e := fieldP - 2
+	base := a % fieldP
+	for e > 0 {
+		if e&1 == 1 {
+			r = fmul(r, base)
+		}
+		base = fmul(base, base)
+		e >>= 1
+	}
+	return r
+}
+
+func randNonzero(rng *rand.Rand) uint64 {
+	return uint64(rng.Int63n(int64(fieldP-1))) + 1
+}
+
+// matRank computes the rank of a dense matrix over GF(p) via Gaussian
+// elimination. rows are modified in place.
+func matRank(rows [][]uint64) int {
+	if len(rows) == 0 {
+		return 0
+	}
+	cols := len(rows[0])
+	rank := 0
+	for c := 0; c < cols && rank < len(rows); c++ {
+		// Find pivot.
+		pivot := -1
+		for r := rank; r < len(rows); r++ {
+			if rows[r][c] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		rows[rank], rows[pivot] = rows[pivot], rows[rank]
+		inv := finv(rows[rank][c])
+		for j := c; j < cols; j++ {
+			rows[rank][j] = fmul(rows[rank][j], inv)
+		}
+		for r := 0; r < len(rows); r++ {
+			if r == rank || rows[r][c] == 0 {
+				continue
+			}
+			f := rows[r][c]
+			for j := c; j < cols; j++ {
+				rows[r][j] = fsub(rows[r][j], fmul(f, rows[rank][j]))
+			}
+		}
+		rank++
+	}
+	return rank
+}
+
+// VertexConnectivityBounded returns (w.h.p.) the maximum number of
+// internally vertex-disjoint s-t paths of length at most maxLen. s and t
+// must be distinct and non-adjacent (vertex connectivity is not defined
+// for neighbors; Appendix B, footnote 6).
+func VertexConnectivityBounded(g *graph.Graph, s, t, maxLen int, rng *rand.Rand) int {
+	if s == t || g.HasEdge(s, t) {
+		panic("VertexConnectivityBounded: s and t must be distinct non-neighbors")
+	}
+	if maxLen < 2 {
+		return 0
+	}
+	n := g.N()
+	k := g.Degree(s)
+	// Random connection matrix K: one coefficient per directed traversal.
+	coeff := make([]uint64, 2*g.M())
+	for i := range coeff {
+		coeff[i] = randNonzero(rng)
+	}
+	arcOf := func(e graph.Edge, from int32, id int32) int32 {
+		if e.U == from {
+			return 2 * id
+		}
+		return 2*id + 1
+	}
+	// Ps: unit vector index per neighbor of s.
+	unit := make(map[int32]int, k)
+	for i, h := range g.Neighbors(s) {
+		unit[h.To] = i
+	}
+	// F columns: F[v] is the k-vector at vertex v.
+	F := make([][]uint64, n)
+	newF := make([][]uint64, n)
+	for v := range F {
+		F[v] = make([]uint64, k)
+		newF[v] = make([]uint64, k)
+	}
+	// maxLen-hop paths: inject + (maxLen-1) propagation rounds. Each
+	// iteration of Eq. 15 both propagates one hop and re-injects at s's
+	// neighborhood, so running maxLen-1 iterations admits paths
+	// s -> neighbor (1 hop) plus up to maxLen-2 further hops to a neighbor
+	// of t, plus the final hop into t.
+	iters := maxLen - 1
+	for it := 0; it < iters; it++ {
+		for v := 0; v < n; v++ {
+			col := newF[v]
+			for i := range col {
+				col[i] = 0
+			}
+			for _, h := range g.Neighbors(v) {
+				u := int(h.To)
+				if u == s || u == t {
+					continue // paths are internally disjoint; do not route through endpoints
+				}
+				c := coeff[arcOf(g.Edge(int(h.Edge)), h.To, h.Edge)]
+				src := F[u]
+				for i := range col {
+					if src[i] != 0 {
+						col[i] = fadd(col[i], fmul(c, src[i]))
+					}
+				}
+			}
+			if i, ok := unit[int32(v)]; ok {
+				col[i] = fadd(col[i], 1)
+			}
+		}
+		F, newF = newF, F
+	}
+	// Rank of columns at t's neighbors.
+	rows := make([][]uint64, 0, g.Degree(t))
+	for _, h := range g.Neighbors(t) {
+		rows = append(rows, append([]uint64(nil), F[h.To]...))
+	}
+	return matRank(rows)
+}
+
+// EdgeConnectivityBounded returns (w.h.p.) the maximum number of
+// edge-disjoint s-t paths of length at most maxLen, using the directed-arc
+// transformed graph of Appendix B-C (Eq. 12): vectors live on arcs, unit
+// vectors are injected on arcs leaving s, and the rank is taken over arcs
+// entering t. Immediate U-turns (i,k)->(k,i) are excluded — simple paths
+// never take them.
+func EdgeConnectivityBounded(g *graph.Graph, s, t, maxLen int, rng *rand.Rand) int {
+	if s == t {
+		return 0
+	}
+	if maxLen < 1 {
+		return 0
+	}
+	m2 := 2 * g.M() // directed arcs: arc 2e = U->V, 2e+1 = V->U
+	k := g.Degree(s)
+	// Unit index per arc leaving s.
+	unit := make(map[int32]int, k)
+	for i, h := range g.Neighbors(s) {
+		a := int32(2 * h.Edge)
+		if g.Edge(int(h.Edge)).U != int32(s) {
+			a++
+		}
+		unit[a] = i
+	}
+	// Incoming-arc lists per vertex (arcs whose head is v).
+	inArcs := make([][]int32, g.N())
+	for e := 0; e < g.M(); e++ {
+		ed := g.Edge(e)
+		inArcs[ed.V] = append(inArcs[ed.V], int32(2*e))
+		inArcs[ed.U] = append(inArcs[ed.U], int32(2*e+1))
+	}
+	// K′ has one random coefficient per consecutive arc PAIR (i,k),(k,j)
+	// (Eq. 12) — a per-arc coefficient would make every vertex broadcast a
+	// single mixed vector, collapsing edge-disjoint paths that share a
+	// vertex down to vertex-disjoint counts.
+	coeff := make(map[int64]uint64)
+	pairKey := func(in, out int32) int64 { return int64(in)*int64(m2) + int64(out) }
+	for out := int32(0); out < int32(m2); out++ {
+		e := g.Edge(int(out / 2))
+		tail := e.U
+		if out%2 != 0 {
+			tail = e.V
+		}
+		for _, in := range inArcs[tail] {
+			if in/2 == out/2 {
+				continue
+			}
+			coeff[pairKey(in, out)] = randNonzero(rng)
+		}
+	}
+	F := make([][]uint64, m2)
+	newF := make([][]uint64, m2)
+	for a := range F {
+		F[a] = make([]uint64, k)
+		newF[a] = make([]uint64, k)
+	}
+	// maxLen-edge paths: inject (1 edge) + maxLen-1 propagations.
+	iters := maxLen - 1
+	for it := 0; it <= iters; it++ {
+		for a := int32(0); a < int32(m2); a++ {
+			col := newF[a]
+			for i := range col {
+				col[i] = 0
+			}
+			// Tail vertex of arc a.
+			var tail int32
+			e := g.Edge(int(a / 2))
+			if a%2 == 0 {
+				tail = e.U
+			} else {
+				tail = e.V
+			}
+			// Do not extend paths out of t: they have arrived.
+			if int(tail) != t && int(tail) != s {
+				for _, in := range inArcs[tail] {
+					if in/2 == a/2 {
+						continue // U-turn on the same undirected edge
+					}
+					c := coeff[pairKey(in, a)]
+					src := F[in]
+					for i := range col {
+						if src[i] != 0 {
+							col[i] = fadd(col[i], fmul(c, src[i]))
+						}
+					}
+				}
+			}
+			if i, ok := unit[a]; ok {
+				col[i] = fadd(col[i], 1)
+			}
+		}
+		F, newF = newF, F
+	}
+	rows := make([][]uint64, 0, g.Degree(t))
+	for _, in := range inArcs[t] {
+		rows = append(rows, append([]uint64(nil), F[in]...))
+	}
+	return matRank(rows)
+}

@@ -1,0 +1,99 @@
+package diversity
+
+import (
+	"repro/internal/stats"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// Collisions computes the Fig 4 histogram: for every ordered router pair
+// (r_s, r_t) used by at least one flow of the pattern, the number of flows
+// whose source endpoint sits on r_s and destination endpoint on r_t. Two
+// flows with the same router pair "collide" — with single-shortest-path
+// routing they are forced onto an identical path (§IV-A).
+//
+// The returned histogram maps collision multiplicity -> number of router
+// pairs with that multiplicity.
+func Collisions(t *topo.Topology, p traffic.Pattern) *stats.IntHistogram {
+	counts := make(map[int64]int)
+	for _, f := range p.Flows {
+		rs := t.RouterOf(int(f.Src))
+		rt := t.RouterOf(int(f.Dst))
+		if rs == rt {
+			continue // same-router flows never enter the network
+		}
+		counts[int64(rs)*int64(t.Nr())+int64(rt)]++
+	}
+	hist := stats.NewIntHistogram()
+	for _, c := range counts {
+		hist.Add(c)
+	}
+	return hist
+}
+
+// CollisionTakeaway reports the paper's §IV-A takeaway quantities: the
+// fraction of router pairs with >= 4 collisions (the "<1%" claim for D>=2)
+// and the maximum observed multiplicity.
+func CollisionTakeaway(h *stats.IntHistogram) (fracAtLeast4 float64, max int) {
+	fracAtLeast4 = h.FractionAtLeast(4)
+	keys := h.Keys()
+	if len(keys) > 0 {
+		max = keys[len(keys)-1]
+	}
+	return fracAtLeast4, max
+}
+
+// OverlapCount computes, for a pattern routed over single shortest paths,
+// how many flows traverse each router-router link (a direct measure of path
+// overlap, the second flow-conflict type of §IV-A). It returns a histogram
+// of link load in flows.
+func OverlapCount(t *topo.Topology, p traffic.Pattern) *stats.IntHistogram {
+	load := make([]int, t.G.M())
+	// One BFS parent-edge tree per source router, cached across flows.
+	type tree struct{ parentVert, parentEdge []int32 }
+	cache := make(map[int]tree)
+	buildTree := func(src int) tree {
+		pv := make([]int32, t.G.N())
+		pe := make([]int32, t.G.N())
+		dist := make([]int32, t.G.N())
+		for i := range dist {
+			dist[i] = -1
+			pv[i] = -1
+			pe[i] = -1
+		}
+		dist[src] = 0
+		queue := []int32{int32(src)}
+		for qi := 0; qi < len(queue); qi++ {
+			v := queue[qi]
+			for _, h := range t.G.Neighbors(int(v)) {
+				if dist[h.To] == -1 {
+					dist[h.To] = dist[v] + 1
+					pv[h.To] = v
+					pe[h.To] = h.Edge
+					queue = append(queue, h.To)
+				}
+			}
+		}
+		return tree{parentVert: pv, parentEdge: pe}
+	}
+	for _, f := range p.Flows {
+		rs := t.RouterOf(int(f.Src))
+		rt := t.RouterOf(int(f.Dst))
+		if rs == rt {
+			continue
+		}
+		tr, ok := cache[rs]
+		if !ok {
+			tr = buildTree(rs)
+			cache[rs] = tr
+		}
+		for v := int32(rt); tr.parentEdge[v] >= 0; v = tr.parentVert[v] {
+			load[tr.parentEdge[v]]++
+		}
+	}
+	hist := stats.NewIntHistogram()
+	for _, l := range load {
+		hist.Add(l)
+	}
+	return hist
+}

@@ -1,0 +1,176 @@
+package diversity
+
+import (
+	"repro/internal/graph"
+)
+
+// Gusfield's simplification of the Gomory–Hu construction (Appendix B-B):
+// an equivalent-flow tree preserving all-pairs max-flow values (here:
+// unbounded edge connectivity) using exactly N−1 max-flow computations on
+// the ORIGINAL graph — no contractions — which is why the paper prefers it
+// ("the implementation [is] much easier").
+
+// EquivalentFlowTree holds Gusfield's tree: parent links plus the max-flow
+// value toward the parent. The all-pairs edge connectivity between u and v
+// is the minimum flow label on the tree path between them.
+type EquivalentFlowTree struct {
+	Parent []int32
+	Flow   []int32 // Flow[v] = edge connectivity between v and Parent[v]
+}
+
+// BuildEquivalentFlowTree runs Gusfield's algorithm with the exact
+// Ford–Fulkerson pair connectivity as the max-flow oracle.
+func BuildEquivalentFlowTree(g *graph.Graph) *EquivalentFlowTree {
+	n := g.N()
+	t := &EquivalentFlowTree{
+		Parent: make([]int32, n),
+		Flow:   make([]int32, n),
+	}
+	// Classic initialization: every vertex hangs off vertex 0.
+	for v := 1; v < n; v++ {
+		t.Parent[v] = 0
+	}
+	for s := 1; s < n; s++ {
+		p := int(t.Parent[s])
+		f := g.EdgeConnectivityPair(s, p)
+		t.Flow[s] = int32(f)
+		// Re-hang siblings whose cut is on this side.
+		// Gusfield: for every v > s with Parent[v] == p, if v is on s's
+		// side of the minimum cut, re-parent v to s. Determining the side
+		// requires the cut; we recompute it from the residual reachability
+		// of the final flow, so the oracle returns it too.
+		side := minCutSide(g, s, p)
+		for v := s + 1; v < n; v++ {
+			if int(t.Parent[v]) == p && side[v] {
+				t.Parent[v] = int32(s)
+			}
+		}
+		if side[int(t.Parent[p])] && p != 0 {
+			// Standard adjustment when the parent's parent falls on s's
+			// side: swap roles.
+			t.Parent[s] = t.Parent[p]
+			t.Parent[p] = int32(s)
+			t.Flow[s] = t.Flow[p]
+			t.Flow[p] = int32(f)
+		}
+	}
+	return t
+}
+
+// Connectivity returns the all-pairs edge connectivity between u and v from
+// the tree: the minimum flow label on the tree path.
+func (t *EquivalentFlowTree) Connectivity(u, v int) int {
+	if u == v {
+		return 0
+	}
+	// Walk both vertices to the root recording path minima. Depths are at
+	// most N; this is O(N) per query, ample for analysis use.
+	min := int32(1<<31 - 1)
+	au, av := int32(u), int32(v)
+	seen := make(map[int32]int32) // vertex -> min flow from u down to it
+	cur, m := au, min
+	for {
+		seen[cur] = m
+		if cur == 0 && t.Parent[cur] == 0 {
+			break
+		}
+		if t.Flow[cur] < m {
+			m = t.Flow[cur]
+		}
+		next := t.Parent[cur]
+		if next == cur {
+			break
+		}
+		cur = next
+	}
+	cur, m = av, min
+	for {
+		if mu, ok := seen[cur]; ok {
+			if mu < m {
+				return int(mu)
+			}
+			return int(m)
+		}
+		if t.Flow[cur] < m {
+			m = t.Flow[cur]
+		}
+		next := t.Parent[cur]
+		if next == cur {
+			break
+		}
+		cur = next
+	}
+	if m == 1<<31-1 {
+		return 0
+	}
+	return int(m)
+}
+
+// minCutSide returns the source-side vertex set of a minimum s-t edge cut,
+// computed as the vertices reachable from s in the residual graph of a
+// maximum unit-capacity flow.
+func minCutSide(g *graph.Graph, s, t int) []bool {
+	// Re-run Ford-Fulkerson, tracking residual capacities.
+	capn := make([]int8, 2*g.M())
+	for i := range capn {
+		capn[i] = 1
+	}
+	arcOf := func(e graph.Edge, from int32, id int32) int32 {
+		if e.U == from {
+			return 2 * id
+		}
+		return 2*id + 1
+	}
+	parentArc := make([]int32, g.N())
+	parentVert := make([]int32, g.N())
+	visited := make([]bool, g.N())
+	queue := make([]int32, 0, g.N())
+	for {
+		for i := range visited {
+			visited[i] = false
+		}
+		queue = queue[:0]
+		visited[s] = true
+		queue = append(queue, int32(s))
+		found := false
+	bfs:
+		for qi := 0; qi < len(queue); qi++ {
+			v := queue[qi]
+			for _, h := range g.Neighbors(int(v)) {
+				arc := arcOf(g.Edge(int(h.Edge)), v, h.Edge)
+				if capn[arc] == 0 || visited[h.To] {
+					continue
+				}
+				visited[h.To] = true
+				parentArc[h.To] = arc
+				parentVert[h.To] = v
+				if int(h.To) == t {
+					found = true
+					break bfs
+				}
+				queue = append(queue, h.To)
+			}
+		}
+		if !found {
+			// visited is now the residual-reachable source side.
+			return visited
+		}
+		for v := int32(t); int(v) != s; v = parentVert[v] {
+			arc := parentArc[v]
+			capn[arc]--
+			capn[arc^1]++
+		}
+	}
+}
+
+// AllPairsConnectivitySample validates the tree against direct max-flow on
+// sampled pairs, returning the number of mismatches (0 for a correct tree).
+func AllPairsConnectivitySample(g *graph.Graph, t *EquivalentFlowTree, pairs [][2]int) int {
+	bad := 0
+	for _, pr := range pairs {
+		if t.Connectivity(pr[0], pr[1]) != g.EdgeConnectivityPair(pr[0], pr[1]) {
+			bad++
+		}
+	}
+	return bad
+}

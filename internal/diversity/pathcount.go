@@ -1,0 +1,121 @@
+package diversity
+
+import (
+	"repro/internal/graph"
+)
+
+// This file implements Appendix B-A of the paper: path counting via
+// adjacency-matrix powers (Theorem 1) and the next-hop-set variant used to
+// derive routing tables. These are O(N³) per multiplication and intended
+// for the low-diameter graphs the paper targets, where very few iterations
+// are needed.
+
+// PathCountMatrix returns Q = A^l where A is the adjacency matrix of g:
+// Q[i][j] is the number of (not necessarily simple) i->j walks of exactly
+// l steps. Counts saturate at satCap if satCap > 0.
+func PathCountMatrix(g *graph.Graph, l int, satCap int64) [][]int64 {
+	n := g.N()
+	a := adjacencyMatrix(g)
+	if l <= 0 {
+		// A^0 = I.
+		q := makeMat(n)
+		for i := 0; i < n; i++ {
+			q[i][i] = 1
+		}
+		return q
+	}
+	q := a
+	for step := 1; step < l; step++ {
+		q = matMulSat(q, a, satCap)
+	}
+	return q
+}
+
+// WalkCount returns the number of s->t walks of exactly l steps.
+func WalkCount(g *graph.Graph, s, t, l int) int64 {
+	return PathCountMatrix(g, l, 0)[s][t]
+}
+
+func adjacencyMatrix(g *graph.Graph) [][]int64 {
+	n := g.N()
+	a := makeMat(n)
+	for _, e := range g.Edges() {
+		a[e.U][e.V] = 1
+		a[e.V][e.U] = 1
+	}
+	return a
+}
+
+func makeMat(n int) [][]int64 {
+	backing := make([]int64, n*n)
+	m := make([][]int64, n)
+	for i := range m {
+		m[i] = backing[i*n : (i+1)*n]
+	}
+	return m
+}
+
+func matMulSat(a, b [][]int64, satCap int64) [][]int64 {
+	n := len(a)
+	c := makeMat(n)
+	for i := 0; i < n; i++ {
+		ai := a[i]
+		ci := c[i]
+		for k := 0; k < n; k++ {
+			if ai[k] == 0 {
+				continue
+			}
+			aik := ai[k]
+			bk := b[k]
+			for j := 0; j < n; j++ {
+				ci[j] += aik * bk[j]
+			}
+		}
+		if satCap > 0 {
+			for j := range ci {
+				if ci[j] > satCap {
+					ci[j] = satCap
+				}
+			}
+		}
+	}
+	return c
+}
+
+// NextHopSets computes, per Appendix B-A1, for every (source s, destination
+// t) pair the set of first-hop neighbors of s that lie on some walk of at
+// most maxLen steps from s to t, shortest-first: the result for (s,t)
+// contains exactly the neighbors starting shortest paths (the sets an
+// adaptive router would load-balance over). The representation is a bitset
+// over s's adjacency-list positions.
+func NextHopSets(g *graph.Graph, maxLen int) [][]uint64 {
+	n := g.N()
+	// dist[t] via BFS per source gives shortest path lengths; a neighbor u
+	// of s starts a shortest path to t iff dist_u(t) == dist_s(t) - 1.
+	// (maxLen only matters for unreachable-within-bound pairs.)
+	dists := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		dists[v] = g.BFS(v)
+	}
+	sets := make([][]uint64, n)
+	for s := 0; s < n; s++ {
+		row := make([]uint64, n)
+		for t := 0; t < n; t++ {
+			if t == s || dists[s][t] < 0 || int(dists[s][t]) > maxLen {
+				continue
+			}
+			var mask uint64
+			for pos, h := range g.Neighbors(s) {
+				if pos >= 64 {
+					break // bitset width; radix > 64 unused in our configs
+				}
+				if dists[int(h.To)][t] == dists[s][t]-1 {
+					mask |= 1 << uint(pos)
+				}
+			}
+			row[t] = mask
+		}
+		sets[s] = row
+	}
+	return sets
+}

@@ -1,0 +1,63 @@
+// Package experiments regenerates every table and figure of the FatPaths
+// evaluation (§IV, §VI, §VII and Appendix D). Each experiment is a named
+// runner producing an aligned text table with the same rows/series the
+// paper plots. Runners accept an Options struct controlling scale: Quick
+// mode (the default for `go test`) uses the small size class and reduced
+// sample counts; cmd/experiments can run the paper-scale variants.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Options control experiment scale and determinism.
+type Options struct {
+	// Quick selects reduced scale (small topologies, fewer samples).
+	Quick bool
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Experiment is one reproducible unit: a figure or table of the paper.
+type Experiment struct {
+	ID    string // "fig2", "tab4", ...
+	Title string
+	Run   func(Options) (*stats.Table, error)
+}
+
+var registry []Experiment
+
+func register(id, title string, run func(Options) (*stats.Table, error)) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// All returns the registered experiments sorted by ID.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, ids())
+}
+
+func ids() []string {
+	var out []string
+	for _, e := range All() {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// fmtPct renders a fraction as a percentage string.
+func fmtPct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/topo"
+)
+
+func quick() Options { return Options{Quick: true, Seed: 1} }
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"abl-construction", "abl-randomization", "abl-transport",
+		"ext-failures", "ext-mptcp", "ext-tables",
+		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+		"fig17", "fig19", "fig2", "fig20", "fig21", "fig4", "fig6",
+		"fig7", "fig8", "fig9", "tab4", "tab5",
+	}
+	got := All()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d: %v", len(got), len(want), ids())
+	}
+	for i, e := range got {
+		if e.ID != want[i] {
+			t.Fatalf("registry[%d]=%s, want %s", i, e.ID, want[i])
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("fig4")
+	if err != nil || e.ID != "fig4" {
+		t.Fatal("fig4 lookup failed")
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown ID must error")
+	}
+}
+
+func TestFig4Collisions(t *testing.T) {
+	tab, err := runFig4(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 topologies x 5 patterns.
+	if len(tab.Rows) != 15 {
+		t.Fatalf("%d rows, want 15", len(tab.Rows))
+	}
+	out := tab.String()
+	for _, want := range []string{"Clique", "SF", "DF"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %s in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig6MinimalPaths(t *testing.T) {
+	tab, err := runFig6(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 topologies + 5 equivalent JFs.
+	if len(tab.Rows) != 10 {
+		t.Fatalf("%d rows, want 10", len(tab.Rows))
+	}
+}
+
+func TestTable4(t *testing.T) {
+	tab, err := runTable4(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("%d rows, want 6", len(tab.Rows))
+	}
+}
+
+func TestTable5AndFig19(t *testing.T) {
+	tab, err := runTable5(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 7 {
+		t.Fatalf("tab5: %d rows, want 7", len(tab.Rows))
+	}
+	tab19, err := runFig19(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab19.Rows) < 10 {
+		t.Fatalf("fig19: %d rows", len(tab19.Rows))
+	}
+}
+
+func TestFig10Cost(t *testing.T) {
+	tab, err := runFig10(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("%d rows, want 6", len(tab.Rows))
+	}
+}
+
+func TestQueueModel(t *testing.T) {
+	sum := QueueModelSample(newTestRand(), 2000, 1<<20, 10e9, 200, 20_000)
+	if sum.Mean <= 0 {
+		t.Fatal("model mean must be positive")
+	}
+	// 1MiB at 10G is ~0.84ms; with load ~0.17 the mean should be close to
+	// the unloaded value but above it.
+	if sum.Mean < 0.8 || sum.Mean > 3 {
+		t.Fatalf("model mean %f ms out of expected band", sum.Mean)
+	}
+	if sum.P99 < sum.P50 {
+		t.Fatal("percentiles out of order")
+	}
+}
+
+func TestLayerCountComparison(t *testing.T) {
+	sf, _ := topo.SlimFly(5, 0)
+	tab, err := LayerCountComparison(sf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(tab.Rows))
+	}
+}
+
+// Smoke-run the packet-simulation experiments that are cheap enough for
+// unit tests; the heavier ones run as benchmarks (bench_test.go at the
+// repository root) and via cmd/experiments.
+func TestSimulationExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiments skipped in -short mode")
+	}
+	// fig11/fig14/fig16/fig17 take tens of seconds each even in quick
+	// mode; they run as benchmarks instead.
+	ids := []string{
+		"fig2", "fig9", "fig12", "fig13", "fig15",
+		"fig20", "fig21",
+		"abl-transport", "abl-construction", "abl-randomization",
+		"ext-failures", "ext-mptcp", "ext-tables",
+	}
+	for _, id := range ids {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			e, err := ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tab, err := e.Run(quick())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+		})
+	}
+}
+
+// newTestRand returns a deterministic rng for model tests.
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(7)) }

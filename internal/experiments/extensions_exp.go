@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/layers"
+	"repro/internal/netsim"
+	"repro/internal/stats"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// Extension experiments beyond the paper's numbered figures: the §V-G
+// fault-tolerance behaviour, the §VIII-A2 MPTCP subflow striping, and the
+// §V-D/E forwarding-state sizing analysis.
+
+func init() {
+	register("ext-failures", "Resilience: completion and FCT vs failed links (FatPaths vs single-path)", runExtFailures)
+	register("ext-mptcp", "MPTCP-style subflow striping over layers vs flowlet FatPaths (TCP)", runExtMPTCP)
+	register("ext-tables", "Forwarding table sizing: flat vs prefix matching (SS V-D/E)", runExtTables)
+}
+
+func runExtFailures(o Options) (*stats.Table, error) {
+	sf, err := topo.SlimFly(pick(o, 5, 11), 0)
+	if err != nil {
+		return nil, err
+	}
+	tab := &stats.Table{
+		Title:   "Resilience under link failures (NDP transport, 64KiB flows)",
+		Headers: []string{"series", "failed links", "completed", "mean FCT ms", "p99 ms"},
+	}
+	flows := pick(o, 60, 200)
+	fractions := []float64{0, 0.02, 0.05, 0.10}
+	for _, series := range []struct {
+		name   string
+		cfgLB  netsim.LoadBalance
+		layers int
+		rho    float64
+	}{
+		{"FatPaths(9 layers)", netsim.LBFatPaths, 9, 0.6},
+		{"single minimal path", netsim.LBMinimalLayer, 1, 1.0},
+	} {
+		fab, err := core.Build(sf, core.Config{NumLayers: series.layers, Rho: series.rho, Seed: o.Seed})
+		if err != nil {
+			return nil, err
+		}
+		for _, frac := range fractions {
+			cfg := netsim.NDPDefaults()
+			cfg.LB = series.cfgLB
+			sim := fab.NewSimulation(cfg)
+			nFail := int(frac * float64(sf.G.M()))
+			sim.Net.FailRandomLinks(nFail, graph.NewRand(o.Seed+int64(nFail)))
+			frng := graph.NewRand(o.Seed)
+			for i := 0; i < flows; i++ {
+				s, d := graph.SampleDistinctPair(frng, sf.N())
+				sim.AddFlow(netsim.FlowSpec{Src: int32(s), Dst: int32(d), Bytes: 64 << 10})
+			}
+			res := sim.Run(3 * netsim.Second)
+			fct := netsim.SummarizeFCT(res)
+			tab.AddRowf(series.name, nFail, fmtPct(netsim.CompletedFraction(res)), fct.Mean, fct.P99)
+		}
+	}
+	return tab, nil
+}
+
+func runExtMPTCP(o Options) (*stats.Table, error) {
+	sf, err := topo.SlimFly(pick(o, 5, 11), 0)
+	if err != nil {
+		return nil, err
+	}
+	fab, err := core.Build(sf, core.Config{NumLayers: 4, Rho: 0.6, Seed: o.Seed})
+	if err != nil {
+		return nil, err
+	}
+	pat := traffic.AdversarialOffDiagonal(sf)
+	size := int64(512 << 10)
+	tab := &stats.Table{
+		Title:   "MPTCP subflow striping vs flowlet FatPaths (512KiB messages, TCP)",
+		Headers: []string{"series", "mean FCT ms", "p99 ms", "completed"},
+	}
+
+	// Flowlet FatPaths baseline.
+	cfg := netsim.TCPDefaults(netsim.TransportTCP)
+	res := runSeries(fab, cfg, pat, size, 0, 10*netsim.Second, o.Seed)
+	fct := netsim.SummarizeFCT(res)
+	tab.AddRowf("flowlet FatPaths", fct.Mean, fct.P99, fmtPct(netsim.CompletedFraction(res)))
+
+	// Native MPTCP transport (LIA-coupled subflows over pinned layers).
+	mcfg := netsim.TCPDefaults(netsim.TransportMPTCP)
+	mres := runSeries(fab, mcfg, pat, size, 0, 10*netsim.Second, o.Seed)
+	mfct := netsim.SummarizeFCT(mres)
+	tab.AddRowf("MPTCP transport (LIA)", mfct.Mean, mfct.P99, fmtPct(netsim.CompletedFraction(mres)))
+
+	for _, k := range []int{2, 4} {
+		mres, err := fab.RunWorkloadMPTCP(cfg, pat, size, k, 10*netsim.Second, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		var sm stats.Sample
+		done := 0
+		for _, r := range mres {
+			if r.Done {
+				done++
+				sm.Add(r.FCT.Seconds() * 1e3)
+			}
+		}
+		s := sm.Summarize()
+		tab.AddRowf("MPTCP k="+strconv.Itoa(k), s.Mean, s.P99, fmtPct(float64(done)/float64(len(mres))))
+	}
+	return tab, nil
+}
+
+func runExtTables(o Options) (*stats.Table, error) {
+	rng := graph.NewRand(o.Seed)
+	tab := &stats.Table{
+		Title:   "Forwarding state per router: flat exact match vs prefix match",
+		Headers: []string{"topology", "N", "Nr", "layers", "flat entries", "prefix entries", "compression", "fits VLANs"},
+	}
+	suite, err := topo.BuildSuite(sizeClass(o), rng)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range suite.All() {
+		sz := layers.SizeTables(t, 9)
+		tab.AddRowf(t.Name, t.N(), t.Nr(), sz.Layers, sz.FlatEntries, sz.PrefixEntries,
+			sz.Compression, sz.FitsVLANs)
+	}
+	// The paper's worked example: SF with N=10830 has Nr=722.
+	sf19, err := topo.SlimFly(19, 15)
+	if err != nil {
+		return nil, err
+	}
+	sz := layers.SizeTables(sf19, 9)
+	tab.AddRowf(sf19.Name+" (paper example)", sf19.N(), sf19.Nr(), sz.Layers,
+		sz.FlatEntries, sz.PrefixEntries, sz.Compression, sz.FitsVLANs)
+	return tab, nil
+}

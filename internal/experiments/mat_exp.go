@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/layers"
+	"repro/internal/mcf"
+	"repro/internal/stats"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// This file implements the theoretical-analysis experiments of §VI:
+// Fig 9 (maximum achievable throughput of FatPaths vs SPAIN, PAST and
+// k-shortest paths under the worst-case matched pattern at intensity 0.55)
+// and the cost model of Fig 10.
+
+func init() {
+	register("fig9", "Maximum achievable throughput: FatPaths vs SPAIN/PAST/k-shortest (worst-case pattern, intensity 0.55)", runFig9)
+	register("fig10", "Cost per endpoint breakdown (100GbE model)", runFig10)
+}
+
+// matFor computes the path-restricted MAT for one scheme on one topology.
+func matFor(t *topo.Topology, scheme core.LayerScheme, nLayers int, comms []mcf.Commodity, seed int64, quick bool) (float64, error) {
+	rho := 0.6
+	fab, err := core.Build(t, core.Config{NumLayers: nLayers, Rho: rho, Scheme: scheme, Seed: seed})
+	if err != nil {
+		return 0, err
+	}
+	ps := mcf.FromForwarding(t.G, fab.Fwd, comms)
+	// Commodities unreachable in sparse baseline layers fall back to the
+	// full layer's single shortest path, which FromForwarding already
+	// includes (layer 0 is always present).
+	if quick {
+		// Small instances: exact simplex.
+		return mcf.PathMAT(ps, 1)
+	}
+	return mcf.PathMATApprox(ps, 1, 0.10)
+}
+
+func runFig9(o Options) (*stats.Table, error) {
+	rng := graph.NewRand(o.Seed)
+	var tops []*topo.Topology
+	sf, err := topo.SlimFly(pick(o, 5, 11), 0)
+	if err != nil {
+		return nil, err
+	}
+	df, err := topo.Dragonfly(pick(o, 2, 4))
+	if err != nil {
+		return nil, err
+	}
+	hx, err := topo.HyperX(3, pick(o, 4, 7), 0)
+	if err != nil {
+		return nil, err
+	}
+	xp, err := topo.Xpander(8, 8, 0, rng)
+	if err != nil {
+		return nil, err
+	}
+	ft, err := topo.FatTree3(pick(o, 4, 8), 2)
+	if err != nil {
+		return nil, err
+	}
+	sfjf, err := topo.EquivalentJellyfish(sf, rng)
+	if err != nil {
+		return nil, err
+	}
+	tops = append(tops, sf, df, hx, xp, ft, sfjf)
+
+	nLayers := pick(o, 5, 9)
+	tab := &stats.Table{
+		Title:   "Fig 9: maximum achievable throughput T (worst-case pattern, intensity 0.55, equal layer counts)",
+		Headers: []string{"topology", "N", "FatPaths(minPI)", "FatPaths(random)", "SPAIN", "PAST", "k-shortest"},
+	}
+	for _, t := range tops {
+		pat := traffic.WorstCase(t, 0.55, rng)
+		comms := mcf.CommoditiesFromPattern(t, pat)
+		if len(comms) == 0 {
+			continue
+		}
+		minPI, err := matFor(t, core.MinInterference, nLayers, comms, o.Seed, o.Quick)
+		if err != nil {
+			return nil, err
+		}
+		random, err := matFor(t, core.RandomSampling, nLayers, comms, o.Seed, o.Quick)
+		if err != nil {
+			return nil, err
+		}
+		spain, err := matFor(t, core.SPAINScheme, nLayers, comms, o.Seed, o.Quick)
+		if err != nil {
+			return nil, err
+		}
+		past, err := matFor(t, core.PASTScheme, nLayers, comms, o.Seed, o.Quick)
+		if err != nil {
+			return nil, err
+		}
+		// k-shortest paths: k = number of layers for resource parity.
+		kspPS := mcf.FromKShortest(t.G, comms, nLayers)
+		var ksp float64
+		if o.Quick {
+			ksp, err = mcf.PathMAT(kspPS, 1)
+		} else {
+			ksp, err = mcf.PathMATApprox(kspPS, 1, 0.10)
+		}
+		if err != nil {
+			return nil, err
+		}
+		tab.AddRowf(t.Name, t.N(), minPI, random, spain, past, ksp)
+	}
+	return tab, nil
+}
+
+func runFig10(o Options) (*stats.Table, error) {
+	rng := graph.NewRand(o.Seed)
+	suite, err := topo.BuildSuite(sizeClass(o), rng)
+	if err != nil {
+		return nil, err
+	}
+	jf, err := topo.EquivalentJellyfish(suite.SF, rng)
+	if err != nil {
+		return nil, err
+	}
+	model := topo.Default100GbE()
+	tab := &stats.Table{
+		Title:   "Fig 10: cost per endpoint (k$), 100GbE model",
+		Headers: []string{"topology", "N", "switches", "endpoint links", "interconnect links", "total"},
+	}
+	for _, t := range append(suite.All(), jf) {
+		c := model.Cost(t)
+		tab.AddRowf(t.Name, t.N(), c.Switches, c.EndpointLinks, c.InterconnLinks, c.Total())
+	}
+	return tab, nil
+}
+
+// LayerCountComparison supports the §VI-B analysis: layers needed per
+// scheme to cover the network's links (FatPaths needs O(1); SPAIN/PAST
+// need O(k') to O(N_r) tree layers).
+func LayerCountComparison(t *topo.Topology, seed int64) (*stats.Table, error) {
+	rng := graph.NewRand(seed)
+	tab := &stats.Table{
+		Title:   "§VI-B: layers and edges per layer by scheme",
+		Headers: []string{"scheme", "layers", "edges/layer (max)", "links covered"},
+	}
+	add := func(name string, ls *layers.LayerSet) {
+		maxE := 0
+		covered := make([]bool, t.G.M())
+		for _, l := range ls.Layers[1:] {
+			if l.EdgeCount > maxE {
+				maxE = l.EdgeCount
+			}
+			for id, on := range l.Mask {
+				if on {
+					covered[id] = true
+				}
+			}
+		}
+		n := 0
+		for _, c := range covered {
+			if c {
+				n++
+			}
+		}
+		tab.AddRowf(name, ls.N()-1, maxE, fmtPct(float64(n)/float64(t.G.M())))
+	}
+	fp, err := layers.Random(t.G, 9, 0.6, rng)
+	if err != nil {
+		return nil, err
+	}
+	add("FatPaths(random, n=9)", fp)
+	sp, err := layers.SPAIN(t.G, layers.SPAINConfig{K: 2}, rng)
+	if err != nil {
+		return nil, err
+	}
+	add("SPAIN(all)", sp)
+	pa, err := layers.PAST(t.G, 9, layers.PASTNonMinimal, rng)
+	if err != nil {
+		return nil, err
+	}
+	add("PAST(n=9)", pa)
+	return tab, nil
+}

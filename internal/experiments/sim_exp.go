@@ -1,0 +1,562 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/netsim"
+	"repro/internal/stats"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// This file implements the packet-level simulation experiments of §VII and
+// Appendix D: Fig 2 (randomized workload throughput), Fig 11 (skewed
+// adversarial), Fig 12 (n/ρ sweep, htsim mode), Fig 13 (largest feasible
+// networks), Fig 14 (TCP: FatPaths vs ECMP vs LetFlow), Fig 15 (FCT
+// distribution vs queueing model), Fig 16 (ρ sweep, TCP), Fig 17 (stencil +
+// barrier), Fig 20/21 (λ calibration on crossbar/fat tree), plus the
+// ablation studies called out in DESIGN.md §4.
+
+func init() {
+	register("fig2", "Throughput/flow vs flow size: low-diameter+FatPaths vs FT+NDP (randomized workload)", runFig2)
+	register("fig11", "Skewed adversarial traffic: FatPaths vs minimal NDP baseline", runFig11)
+	register("fig12", "Effect of layer count n and sparsity rho on long-flow FCT (htsim mode)", runFig12)
+	register("fig13", "Larger networks: SF vs SF-JF vs DF throughput and FCT tails", runFig13)
+	register("fig14", "TCP: FatPaths (rho=0.6, rho=1) vs ECMP vs LetFlow", runFig14)
+	register("fig15", "Long-flow FCT distribution on SF: queueing model vs FatPaths vs ECMP", runFig15)
+	register("fig16", "Impact of rho on long-flow FCT (TCP, n=4)", runFig16)
+	register("fig17", "Stencil+barrier completion time speedups (TCP)", runFig17)
+	register("fig20", "Long-flow FCT vs arrival rate on a crossbar (TCP)", runFig20)
+	register("fig21", "Influence of lambda on baseline NDP: crossbar vs fat tree", runFig21)
+	register("abl-transport", "Ablation: purified transport vs TCP tail-drop on identical layers", runAblTransport)
+	register("abl-construction", "Ablation: random vs min-interference layer construction", runAblConstruction)
+	register("abl-randomization", "Ablation: workload randomization on vs off", runAblRandomization)
+}
+
+// smallSuite returns the per-figure topology set at quick or full scale.
+func simSuite(o Options, rng *rand.Rand) (map[string]*topo.Topology, error) {
+	out := map[string]*topo.Topology{}
+	var err error
+	add := func(k string, t *topo.Topology, e error) {
+		if err == nil && e != nil {
+			err = e
+		}
+		out[k] = t
+	}
+	if o.Quick {
+		sf, e := topo.SlimFly(5, 0)
+		add("SF", sf, e)
+		df, e := topo.Dragonfly(3)
+		add("DF", df, e)
+		hx, e := topo.HyperX(3, 4, 0)
+		add("HX", hx, e)
+		xp, e := topo.Xpander(8, 8, 0, rng)
+		add("XP", xp, e)
+		ft, e := topo.FatTree3(4, 2)
+		add("FT", ft, e)
+	} else {
+		sf, e := topo.SlimFly(11, 0)
+		add("SF", sf, e)
+		df, e := topo.Dragonfly(4)
+		add("DF", df, e)
+		hx, e := topo.HyperX(3, 7, 0)
+		add("HX", hx, e)
+		xp, e := topo.Xpander(16, 16, 0, rng)
+		add("XP", xp, e)
+		ft, e := topo.FatTree3(8, 2)
+		add("FT", ft, e)
+	}
+	if err != nil {
+		return nil, err
+	}
+	jf, e := topo.EquivalentJellyfish(out["SF"], rng)
+	if e != nil {
+		return nil, e
+	}
+	out["JF"] = jf
+	return out, nil
+}
+
+// runSeries simulates one (fabric, config, pattern, size) combination.
+func runSeries(fab *core.Fabric, cfg netsim.Config, pat traffic.Pattern, size int64, lambda float64, horizon netsim.Time, seed int64) []netsim.FlowResult {
+	wl := core.Workload{Pattern: pat, FlowSize: traffic.FixedSize(size), Lambda: lambda}
+	return fab.RunWorkload(cfg, wl, horizon, seed)
+}
+
+func flowSizes(o Options) []int64 {
+	if o.Quick {
+		return []int64{32 << 10, 256 << 10, 2 << 20}
+	}
+	return []int64{32 << 10, 128 << 10, 512 << 10, 2 << 20}
+}
+
+func runFig2(o Options) (*stats.Table, error) {
+	rng := graph.NewRand(o.Seed)
+	suite, err := simSuite(o, rng)
+	if err != nil {
+		return nil, err
+	}
+	tab := &stats.Table{
+		Title:   "Fig 2: throughput per flow [MiB/s], randomized workload, NDP-style transport",
+		Headers: []string{"topology", "scheme", "flow KiB", "mean", "1% tail", "completed"},
+	}
+	horizon := 8 * netsim.Second
+	for _, name := range []string{"SF", "XP", "HX", "DF", "FT"} {
+		t := suite[name]
+		scheme := "FatPaths"
+		cfg := netsim.NDPDefaults()
+		var fab *core.Fabric
+		if name == "FT" {
+			// Fat trees run the plain NDP design: per-packet spraying over
+			// minimal paths (Handley et al.), no layers.
+			scheme = "NDP"
+			cfg.LB = netsim.LBPacketSpray
+			fab, err = core.Build(t, core.Config{NumLayers: 1, Rho: 1, Seed: o.Seed})
+		} else {
+			fab, err = core.Build(t, core.DefaultConfig(t))
+		}
+		if err != nil {
+			return nil, err
+		}
+		for _, size := range flowSizes(o) {
+			pat := traffic.RandomizeMapping(traffic.RandomUniform(rng, t.N()), rng)
+			res := runSeries(fab, cfg, pat, size, 300, horizon, o.Seed+size)
+			tp := netsim.SummarizeThroughput(res)
+			tab.AddRowf(t.Name, scheme, size>>10, tp.Mean, tp.P01, fmtPct(netsim.CompletedFraction(res)))
+		}
+	}
+	return tab, nil
+}
+
+func runFig11(o Options) (*stats.Table, error) {
+	rng := graph.NewRand(o.Seed)
+	suite, err := simSuite(o, rng)
+	if err != nil {
+		return nil, err
+	}
+	tab := &stats.Table{
+		Title:   "Fig 11: skewed adversarial (non-randomized) traffic, NDP-style transport",
+		Headers: []string{"topology", "scheme", "flow KiB", "mean MiB/s", "1% tail", "completed"},
+	}
+	horizon := 10 * netsim.Second
+	for _, name := range []string{"SF", "XP", "HX", "DF", "FT"} {
+		t := suite[name]
+		pat := traffic.AdversarialOffDiagonal(t)
+		for _, scheme := range []string{"FatPaths", "NDP-minimal"} {
+			cfg := netsim.NDPDefaults()
+			var fab *core.Fabric
+			if scheme == "FatPaths" {
+				fab, err = core.Build(t, core.DefaultConfig(t))
+			} else {
+				cfg.LB = netsim.LBPacketSpray
+				fab, err = core.Build(t, core.Config{NumLayers: 1, Rho: 1, Seed: o.Seed})
+			}
+			if err != nil {
+				return nil, err
+			}
+			for _, size := range flowSizes(o) {
+				res := runSeries(fab, cfg, pat, size, 300, horizon, o.Seed+size)
+				tp := netsim.SummarizeThroughput(res)
+				tab.AddRowf(t.Name, scheme, size>>10, tp.Mean, tp.P01, fmtPct(netsim.CompletedFraction(res)))
+			}
+		}
+	}
+	return tab, nil
+}
+
+func runFig12(o Options) (*stats.Table, error) {
+	rng := graph.NewRand(o.Seed)
+	sf, err := topo.SlimFly(pick(o, 5, 11), 0)
+	if err != nil {
+		return nil, err
+	}
+	df, err := topo.Dragonfly(pick(o, 3, 4))
+	if err != nil {
+		return nil, err
+	}
+	cl, err := topo.Complete(pick(o, 15, 40), 0)
+	if err != nil {
+		return nil, err
+	}
+	tab := &stats.Table{
+		Title:   "Fig 12: effect of n and rho on 1MiB-flow FCT [ms] (NDP mode)",
+		Headers: []string{"topology", "n", "rho", "mean", "p10", "p99", "completed"},
+	}
+	ns := []int{2, 5, 9}
+	rhos := []float64{0.5, 0.7, 0.8}
+	if !o.Quick {
+		ns = []int{2, 5, 9, 17, 33}
+	}
+	horizon := 10 * netsim.Second
+	for _, t := range []*topo.Topology{cl, sf, df} {
+		pat := traffic.RandomizeMapping(traffic.RandomPermutation(rng, t.N()), rng)
+		for _, n := range ns {
+			for _, rho := range rhos {
+				fab, err := core.Build(t, core.Config{NumLayers: n, Rho: rho, Seed: o.Seed})
+				if err != nil {
+					return nil, err
+				}
+				res := runSeries(fab, netsim.NDPDefaults(), pat, 1<<20, 300, horizon, o.Seed)
+				fct := netsim.SummarizeFCT(res)
+				tab.AddRowf(t.Kind, n, rho, fct.Mean, fct.P10, fct.P99, fmtPct(netsim.CompletedFraction(res)))
+			}
+		}
+	}
+	return tab, nil
+}
+
+func runFig13(o Options) (*stats.Table, error) {
+	rng := graph.NewRand(o.Seed)
+	q := pick(o, 7, 13)
+	sf, err := topo.SlimFly(q, 0)
+	if err != nil {
+		return nil, err
+	}
+	sfjf, err := topo.EquivalentJellyfish(sf, rng)
+	if err != nil {
+		return nil, err
+	}
+	df, err := topo.Dragonfly(pick(o, 3, 5))
+	if err != nil {
+		return nil, err
+	}
+	tab := &stats.Table{
+		Title:   "Fig 13: larger networks, 1MiB flows (NDP mode)",
+		Headers: []string{"topology", "N", "mean MiB/s", "FCT p50 ms", "FCT p99 ms", "completed"},
+	}
+	horizon := 10 * netsim.Second
+	for _, t := range []*topo.Topology{sf, sfjf, df} {
+		fab, err := core.Build(t, core.DefaultConfig(t))
+		if err != nil {
+			return nil, err
+		}
+		pat := traffic.RandomizeMapping(traffic.RandomUniform(rng, t.N()), rng)
+		res := runSeries(fab, netsim.NDPDefaults(), pat, 1<<20, 300, horizon, o.Seed)
+		tp := netsim.SummarizeThroughput(res)
+		fct := netsim.SummarizeFCT(res)
+		tab.AddRowf(t.Name, t.N(), tp.Mean, fct.P50, fct.P99, fmtPct(netsim.CompletedFraction(res)))
+	}
+	return tab, nil
+}
+
+// tcpSeriesConfig returns the four Fig 14 series: ECMP, LetFlow,
+// FatPaths(rho=0.6), FatPaths(rho=1), all with n=4 layers (§VII-C).
+type tcpSeries struct {
+	name   string
+	lb     netsim.LoadBalance
+	layers int
+	rho    float64
+}
+
+func tcpSeriesSet() []tcpSeries {
+	return []tcpSeries{
+		{"ECMP", netsim.LBECMP, 1, 1},
+		{"LetFlow", netsim.LBLetFlow, 1, 1},
+		{"FatPaths(0.6)", netsim.LBFatPaths, 4, 0.6},
+		{"FatPaths(1.0)", netsim.LBFatPaths, 4, 1.0},
+	}
+}
+
+func runFig14(o Options) (*stats.Table, error) {
+	rng := graph.NewRand(o.Seed)
+	suite, err := simSuite(o, rng)
+	if err != nil {
+		return nil, err
+	}
+	sizes := []int64{20e3, 200e3, 2e6}
+	tab := &stats.Table{
+		Title:   "Fig 14: TCP — speedup over ECMP (mean and 99% tail of FCT)",
+		Headers: []string{"topology", "flow KB", "series", "mean FCT ms", "p99 ms", "speedup mean", "speedup p99"},
+	}
+	horizon := 12 * netsim.Second
+	for _, name := range []string{"DF", "FT", "HX", "JF", "SF", "XP"} {
+		t := suite[name]
+		pat := traffic.AdversarialOffDiagonal(t)
+		for _, size := range sizes {
+			var base stats.Summary
+			for _, s := range tcpSeriesSet() {
+				fab, err := core.Build(t, core.Config{NumLayers: s.layers, Rho: s.rho, Seed: o.Seed})
+				if err != nil {
+					return nil, err
+				}
+				cfg := netsim.TCPDefaults(netsim.TransportTCP)
+				cfg.LB = s.lb
+				// Synchronized starts: at this scaled-down N, Poisson
+				// staggering would dissolve the path collisions the figure
+				// studies (the paper's N≈10k runs have enough concurrent
+				// flows for lambda=200 to keep collisions persistent).
+				res := runSeries(fab, cfg, pat, size, 0, horizon, o.Seed)
+				fct := netsim.SummarizeFCT(res)
+				if s.name == "ECMP" {
+					base = fct
+				}
+				spMean, spTail := 0.0, 0.0
+				if fct.Mean > 0 {
+					spMean = base.Mean / fct.Mean
+				}
+				if fct.P99 > 0 {
+					spTail = base.P99 / fct.P99
+				}
+				tab.AddRowf(name, size/1000, s.name, fct.Mean, fct.P99, spMean, spTail)
+			}
+		}
+	}
+	return tab, nil
+}
+
+func runFig15(o Options) (*stats.Table, error) {
+	rng := graph.NewRand(o.Seed)
+	sf, err := topo.SlimFly(pick(o, 5, 11), 0)
+	if err != nil {
+		return nil, err
+	}
+	tab := &stats.Table{
+		Title:   "Fig 15: 1MiB-flow FCT distribution on SF (TCP)",
+		Headers: []string{"series", "p10 ms", "p50 ms", "p90 ms", "p99 ms", "mean ms"},
+	}
+	lambda := 200.0
+	horizon := 12 * netsim.Second
+	pat := traffic.RandomizeMapping(traffic.RandomPermutation(rng, sf.N()), rng)
+
+	// Simple M/M/1-PS queueing-model prediction at the access link.
+	model := QueueModelSample(graph.NewRand(o.Seed), 4000, 1<<20, 10e9, lambda, 20*netsim.Microsecond)
+	tab.AddRowf("queueing model", model.P10, model.P50, model.P90, model.P99, model.Mean)
+
+	for _, s := range []tcpSeries{
+		{"FatPaths(TCP)", netsim.LBFatPaths, 4, 0.6},
+		{"ECMP", netsim.LBECMP, 1, 1},
+	} {
+		fab, err := core.Build(sf, core.Config{NumLayers: s.layers, Rho: s.rho, Seed: o.Seed})
+		if err != nil {
+			return nil, err
+		}
+		cfg := netsim.TCPDefaults(netsim.TransportTCP)
+		cfg.LB = s.lb
+		res := runSeries(fab, cfg, pat, 1<<20, lambda, horizon, o.Seed)
+		fct := netsim.SummarizeFCT(res)
+		tab.AddRowf(s.name, fct.P10, fct.P50, fct.P90, fct.P99, fct.Mean)
+	}
+	return tab, nil
+}
+
+func runFig16(o Options) (*stats.Table, error) {
+	rng := graph.NewRand(o.Seed)
+	suite, err := simSuite(o, rng)
+	if err != nil {
+		return nil, err
+	}
+	rhos := []float64{0.5, 0.7, 0.9, 1.0}
+	if !o.Quick {
+		rhos = []float64{0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	}
+	tab := &stats.Table{
+		Title:   "Fig 16: impact of rho on 1MiB-flow FCT (TCP, n=4)",
+		Headers: []string{"topology", "rho", "mean ms", "p10 ms", "p99 ms"},
+	}
+	horizon := 12 * netsim.Second
+	for _, name := range []string{"DF", "JF", "HX", "SF", "XP"} {
+		t := suite[name]
+		pat := traffic.AdversarialOffDiagonal(t)
+		for _, rho := range rhos {
+			fab, err := core.Build(t, core.Config{NumLayers: 4, Rho: rho, Seed: o.Seed})
+			if err != nil {
+				return nil, err
+			}
+			cfg := netsim.TCPDefaults(netsim.TransportTCP)
+			res := runSeries(fab, cfg, pat, 1<<20, 200, horizon, o.Seed)
+			fct := netsim.SummarizeFCT(res)
+			tab.AddRowf(name, rho, fct.Mean, fct.P10, fct.P99)
+		}
+	}
+	return tab, nil
+}
+
+func runFig17(o Options) (*stats.Table, error) {
+	rng := graph.NewRand(o.Seed)
+	suite, err := simSuite(o, rng)
+	if err != nil {
+		return nil, err
+	}
+	sizes := []int64{20e3, 200e3}
+	if !o.Quick {
+		sizes = append(sizes, 2e6)
+	}
+	rounds := pick(o, 3, 5)
+	tab := &stats.Table{
+		Title:   "Fig 17: stencil+barrier completion time, speedup over ECMP (TCP)",
+		Headers: []string{"topology", "flow KB", "series", "total ms", "speedup"},
+	}
+	for _, name := range []string{"DF", "FT", "HX", "JF", "SF", "XP"} {
+		t := suite[name]
+		pat := traffic.RandomizeMapping(traffic.DefaultStencil(t.N()), rng)
+		for _, size := range sizes {
+			var base netsim.Time
+			for _, s := range tcpSeriesSet() {
+				fab, err := core.Build(t, core.Config{NumLayers: s.layers, Rho: s.rho, Seed: o.Seed})
+				if err != nil {
+					return nil, err
+				}
+				cfg := netsim.TCPDefaults(netsim.TransportTCP)
+				cfg.LB = s.lb
+				total, _ := fab.RunStencilRounds(cfg, pat, size, rounds, 6*netsim.Second, o.Seed)
+				if s.name == "ECMP" {
+					base = total
+				}
+				sp := 0.0
+				if total > 0 {
+					sp = float64(base) / float64(total)
+				}
+				tab.AddRowf(name, size/1000, s.name, total.Seconds()*1e3, sp)
+			}
+		}
+	}
+	return tab, nil
+}
+
+func runFig20(o Options) (*stats.Table, error) {
+	n := pick(o, 24, 60)
+	st, err := topo.Star(n)
+	if err != nil {
+		return nil, err
+	}
+	fab, err := core.Build(st, core.Config{NumLayers: 1, Rho: 1, Seed: o.Seed})
+	if err != nil {
+		return nil, err
+	}
+	tab := &stats.Table{
+		Title:   "Fig 20: 2MB-flow FCT vs arrival rate on a crossbar (TCP)",
+		Headers: []string{"lambda", "p10 ms", "mean ms", "p90 ms", "completed"},
+	}
+	rng := graph.NewRand(o.Seed)
+	for _, lambda := range []float64{100, 250, 500, 800} {
+		pat := traffic.RandomUniform(rng, n)
+		cfg := netsim.TCPDefaults(netsim.TransportTCP)
+		cfg.LB = netsim.LBMinimalLayer
+		res := runSeries(fab, cfg, pat, 2e6, lambda, 10*netsim.Second, o.Seed)
+		fct := netsim.SummarizeFCT(res)
+		tab.AddRowf(lambda, fct.P10, fct.Mean, fct.P90, fmtPct(netsim.CompletedFraction(res)))
+	}
+	return tab, nil
+}
+
+func runFig21(o Options) (*stats.Table, error) {
+	n := pick(o, 24, 128)
+	st, err := topo.Star(n)
+	if err != nil {
+		return nil, err
+	}
+	m := pick(o, 3, 6)
+	ft, err := topo.FatTree3(m, 2)
+	if err != nil {
+		return nil, err
+	}
+	tab := &stats.Table{
+		Title:   "Fig 21: influence of lambda on baseline NDP (per-packet spray)",
+		Headers: []string{"topology", "lambda", "FCT p10 ms", "mean ms", "p99 ms", "completed"},
+	}
+	rng := graph.NewRand(o.Seed)
+	for _, t := range []*topo.Topology{st, ft} {
+		fab, err := core.Build(t, core.Config{NumLayers: 1, Rho: 1, Seed: o.Seed})
+		if err != nil {
+			return nil, err
+		}
+		for _, lambda := range []float64{100, 300, 500} {
+			pat := traffic.RandomUniform(rng, t.N())
+			cfg := netsim.NDPDefaults()
+			cfg.LB = netsim.LBPacketSpray
+			res := runSeries(fab, cfg, pat, 256<<10, lambda, 10*netsim.Second, o.Seed)
+			fct := netsim.SummarizeFCT(res)
+			tab.AddRowf(t.Kind, lambda, fct.P10, fct.Mean, fct.P99, fmtPct(netsim.CompletedFraction(res)))
+		}
+	}
+	return tab, nil
+}
+
+func runAblTransport(o Options) (*stats.Table, error) {
+	sf, err := topo.SlimFly(pick(o, 5, 11), 0)
+	if err != nil {
+		return nil, err
+	}
+	fab, err := core.Build(sf, core.DefaultConfig(sf))
+	if err != nil {
+		return nil, err
+	}
+	pat := traffic.AdversarialOffDiagonal(sf)
+	tab := &stats.Table{
+		Title:   "Ablation: purified (NDP-style) transport vs TCP tail-drop, identical layers",
+		Headers: []string{"transport", "mean FCT ms", "p99 ms", "drops", "trims"},
+	}
+	for _, mode := range []string{"purified", "tcp"} {
+		var cfg netsim.Config
+		if mode == "purified" {
+			cfg = netsim.NDPDefaults()
+		} else {
+			cfg = netsim.TCPDefaults(netsim.TransportTCP)
+		}
+		sim := fab.NewSimulation(cfg)
+		for _, fl := range pat.Flows {
+			sim.AddFlow(netsim.FlowSpec{Src: fl.Src, Dst: fl.Dst, Bytes: 512 << 10, Start: 0})
+		}
+		res := sim.Run(10 * netsim.Second)
+		fct := netsim.SummarizeFCT(res)
+		tab.AddRowf(mode, fct.Mean, fct.P99, sim.Net.TotalDrops(), sim.Net.TotalTrims())
+	}
+	return tab, nil
+}
+
+func runAblConstruction(o Options) (*stats.Table, error) {
+	rng := graph.NewRand(o.Seed)
+	sf, err := topo.SlimFly(pick(o, 5, 11), 0)
+	if err != nil {
+		return nil, err
+	}
+	pat := traffic.WorstCase(sf, 0.55, rng)
+	tab := &stats.Table{
+		Title:   "Ablation: layer construction scheme (MAT on worst-case pattern + sim FCT)",
+		Headers: []string{"scheme", "MAT T", "sim mean FCT ms"},
+	}
+	for _, scheme := range []core.LayerScheme{core.RandomSampling, core.MinInterference} {
+		fab, err := core.Build(sf, core.Config{NumLayers: 5, Rho: 0.6, Scheme: scheme, Seed: o.Seed})
+		if err != nil {
+			return nil, err
+		}
+		mat, err := fab.MAT(pat, 0.12)
+		if err != nil {
+			return nil, err
+		}
+		res := runSeries(fab, netsim.NDPDefaults(), pat, 256<<10, 0, 8*netsim.Second, o.Seed)
+		fct := netsim.SummarizeFCT(res)
+		tab.AddRowf(scheme.String(), mat, fct.Mean)
+	}
+	return tab, nil
+}
+
+func runAblRandomization(o Options) (*stats.Table, error) {
+	rng := graph.NewRand(o.Seed)
+	sf, err := topo.SlimFly(pick(o, 5, 11), 0)
+	if err != nil {
+		return nil, err
+	}
+	fab, err := core.Build(sf, core.DefaultConfig(sf))
+	if err != nil {
+		return nil, err
+	}
+	skewed := traffic.AdversarialOffDiagonal(sf)
+	randomized := traffic.RandomizeMapping(skewed, rng)
+	tab := &stats.Table{
+		Title:   "Ablation: randomized workload mapping (§III-D)",
+		Headers: []string{"mapping", "mean MiB/s", "p99 FCT ms"},
+	}
+	for _, pc := range []struct {
+		name string
+		pat  traffic.Pattern
+	}{{"skewed", skewed}, {"randomized", randomized}} {
+		res := runSeries(fab, netsim.NDPDefaults(), pc.pat, 512<<10, 0, 8*netsim.Second, o.Seed)
+		tp := netsim.SummarizeThroughput(res)
+		fct := netsim.SummarizeFCT(res)
+		tab.AddRowf(pc.name, tp.Mean, fct.P99)
+	}
+	return tab, nil
+}

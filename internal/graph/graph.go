@@ -1,0 +1,206 @@
+// Package graph provides the undirected-graph substrate used by every other
+// package in this repository: compact adjacency storage with stable edge
+// identifiers, breadth-first search (optionally length-limited and restricted
+// to an enabled edge subset), all-pairs shortest-path statistics, greedy
+// length-limited edge-disjoint path counting (the Ford–Fulkerson-style
+// variant used by the FatPaths paper for its CDP metric), weighted Dijkstra,
+// and Yen's k-shortest loop-free paths.
+//
+// Vertices are integers in [0, N). Edges are undirected, carry a stable
+// integer ID in [0, M), and the graph is simple (no self loops, no parallel
+// edges) — topology generators enforce simplicity before insertion.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Half is one direction of an undirected edge as seen from a vertex's
+// adjacency list: the opposite endpoint and the edge's stable ID.
+type Half struct {
+	To   int32
+	Edge int32
+}
+
+// Edge is an undirected edge between vertices U and V (U < V is not
+// guaranteed; endpoints are stored in insertion order).
+type Edge struct {
+	U, V int32
+}
+
+// Other returns the endpoint of e opposite to x.
+func (e Edge) Other(x int32) int32 {
+	if e.U == x {
+		return e.V
+	}
+	return e.U
+}
+
+// Graph is an undirected simple graph with stable edge IDs.
+// The zero value is an empty graph with no vertices; use New.
+type Graph struct {
+	n     int
+	adj   [][]Half
+	edges []Edge
+}
+
+// New returns an empty graph with n vertices and no edges.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Graph{n: n, adj: make([][]Half, n)}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// Edges returns the slice of undirected edges indexed by edge ID.
+// The returned slice is owned by the graph and must not be modified.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Edge returns the edge with the given ID.
+func (g *Graph) Edge(id int) Edge { return g.edges[id] }
+
+// Degree returns the number of edges incident to v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbors returns the adjacency list of v. The returned slice is owned by
+// the graph and must not be modified.
+func (g *Graph) Neighbors(v int) []Half { return g.adj[v] }
+
+// HasEdge reports whether an edge between u and v exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || v < 0 || u >= g.n || v >= g.n {
+		return false
+	}
+	a, b := u, v
+	if len(g.adj[a]) > len(g.adj[b]) {
+		a, b = b, a
+	}
+	for _, h := range g.adj[a] {
+		if int(h.To) == b {
+			return true
+		}
+	}
+	return false
+}
+
+// AddEdge inserts an undirected edge between u and v and returns its ID.
+// It panics on self loops, out-of-range vertices, or duplicate edges:
+// topologies in this repository are simple graphs by construction, so a
+// duplicate indicates a generator bug that must not be silently absorbed.
+func (g *Graph) AddEdge(u, v int) int {
+	if u == v {
+		panic(fmt.Sprintf("graph: self loop at vertex %d", u))
+	}
+	if u < 0 || v < 0 || u >= g.n || v >= g.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.n))
+	}
+	if g.HasEdge(u, v) {
+		panic(fmt.Sprintf("graph: duplicate edge (%d,%d)", u, v))
+	}
+	id := len(g.edges)
+	g.edges = append(g.edges, Edge{U: int32(u), V: int32(v)})
+	g.adj[u] = append(g.adj[u], Half{To: int32(v), Edge: int32(id)})
+	g.adj[v] = append(g.adj[v], Half{To: int32(u), Edge: int32(id)})
+	return id
+}
+
+// TryAddEdge inserts the edge unless it already exists or is a self loop,
+// reporting whether an insertion happened. Random constructions (Jellyfish)
+// use it to retry sampling without panicking.
+func (g *Graph) TryAddEdge(u, v int) bool {
+	if u == v || u < 0 || v < 0 || u >= g.n || v >= g.n || g.HasEdge(u, v) {
+		return false
+	}
+	id := len(g.edges)
+	g.edges = append(g.edges, Edge{U: int32(u), V: int32(v)})
+	g.adj[u] = append(g.adj[u], Half{To: int32(v), Edge: int32(id)})
+	g.adj[v] = append(g.adj[v], Half{To: int32(u), Edge: int32(id)})
+	return true
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{n: g.n, adj: make([][]Half, g.n), edges: make([]Edge, len(g.edges))}
+	copy(c.edges, g.edges)
+	for v := range g.adj {
+		c.adj[v] = append([]Half(nil), g.adj[v]...)
+	}
+	return c
+}
+
+// Subgraph returns a new graph on the same vertex set containing exactly the
+// edges whose IDs are enabled. Edge IDs are NOT preserved in the subgraph.
+func (g *Graph) Subgraph(enabled []bool) *Graph {
+	if len(enabled) != len(g.edges) {
+		panic("graph: enabled mask length mismatch")
+	}
+	s := New(g.n)
+	for id, e := range g.edges {
+		if enabled[id] {
+			s.AddEdge(int(e.U), int(e.V))
+		}
+	}
+	return s
+}
+
+// SubgraphFromEdgeIDs returns a new graph containing exactly the listed edges.
+func (g *Graph) SubgraphFromEdgeIDs(ids []int) *Graph {
+	s := New(g.n)
+	for _, id := range ids {
+		e := g.edges[id]
+		s.AddEdge(int(e.U), int(e.V))
+	}
+	return s
+}
+
+// MaxDegree returns the maximum vertex degree (0 for an edgeless graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := range g.adj {
+		if d := len(g.adj[v]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// IsRegular reports whether every vertex has the same degree, and that degree.
+func (g *Graph) IsRegular() (bool, int) {
+	if g.n == 0 {
+		return true, 0
+	}
+	d := len(g.adj[0])
+	for v := 1; v < g.n; v++ {
+		if len(g.adj[v]) != d {
+			return false, 0
+		}
+	}
+	return true, d
+}
+
+// SortAdjacency orders every adjacency list by neighbor ID. Generators call
+// it once after construction so that iteration order (and therefore every
+// seeded random experiment) is independent of insertion order.
+func (g *Graph) SortAdjacency() {
+	for v := range g.adj {
+		a := g.adj[v]
+		sort.Slice(a, func(i, j int) bool { return a[i].To < a[j].To })
+	}
+}
+
+// DegreeHistogram returns a map from degree to the number of vertices with
+// that degree.
+func (g *Graph) DegreeHistogram() map[int]int {
+	h := make(map[int]int)
+	for v := range g.adj {
+		h[len(g.adj[v])]++
+	}
+	return h
+}

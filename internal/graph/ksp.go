@@ -1,0 +1,235 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// WeightFunc assigns a non-negative traversal cost to an edge; hop-count
+// routing uses Unit.
+type WeightFunc func(edgeID int) float64
+
+// Unit is the hop-count weight function.
+func Unit(int) float64 { return 1 }
+
+type dijkstraItem struct {
+	vertex int32
+	dist   float64
+	index  int
+}
+
+type dijkstraHeap []*dijkstraItem
+
+func (h dijkstraHeap) Len() int           { return len(h) }
+func (h dijkstraHeap) Less(i, j int) bool { return h[i].dist < h[j].dist }
+func (h dijkstraHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
+func (h *dijkstraHeap) Push(x interface{}) {
+	it := x.(*dijkstraItem)
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+func (h *dijkstraHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// Dijkstra computes a minimum-weight path from s to t under w, honoring the
+// optional disabled-edge and disabled-vertex masks (used by Yen's spur
+// computation). It returns the vertex path and its total weight, or
+// (nil, +Inf) if t is unreachable.
+func (g *Graph) Dijkstra(s, t int, w WeightFunc, edgeOff, vertOff []bool) ([]int32, float64) {
+	dist := make([]float64, g.n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	parent := make([]int32, g.n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	done := make([]bool, g.n)
+	dist[s] = 0
+	h := dijkstraHeap{{vertex: int32(s), dist: 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(&h).(*dijkstraItem)
+		v := it.vertex
+		if done[v] {
+			continue
+		}
+		done[v] = true
+		if int(v) == t {
+			break
+		}
+		for _, half := range g.adj[v] {
+			if edgeOff != nil && edgeOff[half.Edge] {
+				continue
+			}
+			if vertOff != nil && vertOff[half.To] {
+				continue
+			}
+			nd := dist[v] + w(int(half.Edge))
+			if nd < dist[half.To] {
+				dist[half.To] = nd
+				parent[half.To] = v
+				heap.Push(&h, &dijkstraItem{vertex: half.To, dist: nd})
+			}
+		}
+	}
+	if math.IsInf(dist[t], 1) {
+		return nil, math.Inf(1)
+	}
+	path := []int32{}
+	for v := int32(t); v != -1; v = parent[v] {
+		path = append(path, v)
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, dist[t]
+}
+
+// EdgeBetween returns the ID of the edge between u and v, or -1.
+func (g *Graph) EdgeBetween(u, v int) int {
+	for _, h := range g.adj[u] {
+		if int(h.To) == v {
+			return int(h.Edge)
+		}
+	}
+	return -1
+}
+
+// PathWeight sums w over the consecutive edges of a vertex path. It returns
+// +Inf if the path uses a non-existent edge.
+func (g *Graph) PathWeight(path []int32, w WeightFunc) float64 {
+	var total float64
+	for i := 0; i+1 < len(path); i++ {
+		id := g.EdgeBetween(int(path[i]), int(path[i+1]))
+		if id < 0 {
+			return math.Inf(1)
+		}
+		total += w(id)
+	}
+	return total
+}
+
+// YenKShortest computes up to k loop-free minimum-weight paths from s to t
+// in increasing weight order using Yen's algorithm with Dijkstra as the
+// spur-path oracle (the k-shortest-paths baseline of §VI / Appendix C-D).
+func (g *Graph) YenKShortest(s, t, k int, w WeightFunc) [][]int32 {
+	if k <= 0 {
+		return nil
+	}
+	first, _ := g.Dijkstra(s, t, w, nil, nil)
+	if first == nil {
+		return nil
+	}
+	paths := [][]int32{first}
+	var candidates []yenCandidate
+
+	edgeOff := make([]bool, g.M())
+	vertOff := make([]bool, g.n)
+
+	for len(paths) < k {
+		prev := paths[len(paths)-1]
+		for spur := 0; spur+1 < len(prev); spur++ {
+			root := prev[:spur+1]
+			for i := range edgeOff {
+				edgeOff[i] = false
+			}
+			for i := range vertOff {
+				vertOff[i] = false
+			}
+			// Remove edges that would recreate an already-found path
+			// sharing this root.
+			for _, p := range paths {
+				if len(p) > spur+1 && equalPrefix(p, root) {
+					if id := g.EdgeBetween(int(p[spur]), int(p[spur+1])); id >= 0 {
+						edgeOff[id] = true
+					}
+				}
+			}
+			for _, c := range candidates {
+				if len(c.path) > spur+1 && equalPrefix(c.path, root) {
+					if id := g.EdgeBetween(int(c.path[spur]), int(c.path[spur+1])); id >= 0 {
+						edgeOff[id] = true
+					}
+				}
+			}
+			// Remove root vertices except the spur node itself.
+			for _, v := range root[:len(root)-1] {
+				vertOff[v] = true
+			}
+			spurPath, _ := g.Dijkstra(int(prev[spur]), t, w, edgeOff, vertOff)
+			if spurPath == nil {
+				continue
+			}
+			full := append(append([]int32{}, root[:len(root)-1]...), spurPath...)
+			if containsPath(paths, full) || containsCandidate(candidates, full) {
+				continue
+			}
+			candidates = append(candidates, yenCandidate{path: full, weight: g.PathWeight(full, w)})
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		best := 0
+		for i := 1; i < len(candidates); i++ {
+			if candidates[i].weight < candidates[best].weight {
+				best = i
+			}
+		}
+		paths = append(paths, candidates[best].path)
+		candidates = append(candidates[:best], candidates[best+1:]...)
+	}
+	return paths
+}
+
+func equalPrefix(p, prefix []int32) bool {
+	if len(p) < len(prefix) {
+		return false
+	}
+	for i, v := range prefix {
+		if p[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func pathsEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsPath(ps [][]int32, p []int32) bool {
+	for _, q := range ps {
+		if pathsEqual(p, q) {
+			return true
+		}
+	}
+	return false
+}
+
+type yenCandidate struct {
+	path   []int32
+	weight float64
+}
+
+func containsCandidate(cs []yenCandidate, p []int32) bool {
+	for _, c := range cs {
+		if pathsEqual(c.path, p) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,130 @@
+package layers
+
+// Channel-dependency analysis for lossless deployments. FatPaths targets
+// lossy Ethernet, where deadlock is not a concern, but §VIII-A6 proposes
+// carrying the layered design to InfiniBand — a lossless, credit-based
+// fabric where a routing function is usable only if its channel dependency
+// graph (CDG) is acyclic (Dally–Seitz). The paper's layer concept itself is
+// "similar to virtual layers known from works on deadlock-freedom" (LASH);
+// this file provides the analysis that makes that connection concrete: per
+// layer, build the CDG induced by the forwarding function and test it for
+// cycles, so a deployment can assign virtual lanes per layer (LASH-style)
+// only where needed.
+
+// DeadlockReport summarizes the CDG analysis of one layer.
+type DeadlockReport struct {
+	Layer int
+	// Channels is the number of directed links used by at least one route.
+	Channels int
+	// Dependencies is the number of CDG edges (consecutive channel pairs).
+	Dependencies int
+	// Acyclic reports whether the CDG has no cycle (deadlock-free for
+	// lossless credit-based flow control).
+	Acyclic bool
+}
+
+// AnalyzeDeadlock builds the channel dependency graph of one layer's
+// forwarding function over all router pairs and checks it for cycles.
+// Channels are directed router-router links; a dependency (c1 -> c2)
+// exists when some route enters a router over c1 and leaves over c2.
+func AnalyzeDeadlock(f *Forwarding, ls *LayerSet, layer int) DeadlockReport {
+	g := ls.Base
+	nr := g.N()
+	// Channel IDs: 2*edge for U->V, 2*edge+1 for V->U.
+	chanOf := func(from, to int) int {
+		id := g.EdgeBetween(from, to)
+		if id < 0 {
+			return -1
+		}
+		if int(g.Edge(id).U) == from {
+			return 2 * id
+		}
+		return 2*id + 1
+	}
+	used := make(map[int]bool)
+	deps := make(map[int64]bool) // c1*2M + c2
+	m2 := int64(2 * g.M())
+	for src := 0; src < nr; src++ {
+		for dst := 0; dst < nr; dst++ {
+			if src == dst || !f.Reachable(layer, src, dst) {
+				continue
+			}
+			prev := -1
+			v := src
+			for v != dst {
+				nxt := f.Next(layer, v, dst)
+				if nxt < 0 {
+					break
+				}
+				c := chanOf(v, int(nxt))
+				used[c] = true
+				if prev >= 0 {
+					deps[int64(prev)*m2+int64(c)] = true
+				}
+				prev = c
+				v = int(nxt)
+			}
+		}
+	}
+	// Cycle check on the dependency graph via iterative DFS coloring.
+	adj := make(map[int][]int, len(used))
+	for key := range deps {
+		c1 := int(key / m2)
+		c2 := int(key % m2)
+		adj[c1] = append(adj[c1], c2)
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[int]int, len(used))
+	acyclic := true
+	type frame struct {
+		node int
+		next int
+	}
+	for start := range used {
+		if color[start] != white {
+			continue
+		}
+		frames := []frame{{node: start}}
+		color[start] = gray
+		for len(frames) > 0 && acyclic {
+			fr := &frames[len(frames)-1]
+			children := adj[fr.node]
+			if fr.next < len(children) {
+				child := children[fr.next]
+				fr.next++
+				switch color[child] {
+				case white:
+					color[child] = gray
+					frames = append(frames, frame{node: child})
+				case gray:
+					acyclic = false
+				}
+			} else {
+				color[fr.node] = black
+				frames = frames[:len(frames)-1]
+			}
+		}
+		if !acyclic {
+			break
+		}
+	}
+	return DeadlockReport{
+		Layer:        layer,
+		Channels:     len(used),
+		Dependencies: len(deps),
+		Acyclic:      acyclic,
+	}
+}
+
+// AnalyzeAllLayers runs the CDG analysis on every layer.
+func AnalyzeAllLayers(f *Forwarding, ls *LayerSet) []DeadlockReport {
+	out := make([]DeadlockReport, 0, ls.N())
+	for l := 0; l < ls.N(); l++ {
+		out = append(out, AnalyzeDeadlock(f, ls, l))
+	}
+	return out
+}

@@ -1,0 +1,279 @@
+// Package layers implements FatPaths layered routing (§V of the paper):
+// dividing the links of a topology into (not necessarily disjoint) subsets
+// called layers, routing minimally within each layer so that layer-local
+// minimal paths are non-minimal globally, and populating per-layer
+// destination-based forwarding tables. It also implements the comparison
+// baselines of §VI / Appendix C: SPAIN, PAST, and k-shortest-paths.
+package layers
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Layer is one routing layer: a subset of the base graph's links.
+type Layer struct {
+	// Mask[id] reports whether base edge id belongs to the layer.
+	Mask []bool
+	// EdgeCount is the number of enabled edges.
+	EdgeCount int
+}
+
+// LayerSet is an ordered collection of layers over one base graph.
+// Layers[0] always contains every link (the minimal-path layer σ1 of
+// §V-B); the remaining layers are sparsified.
+type LayerSet struct {
+	Base   *graph.Graph
+	Layers []Layer
+	// Scheme records how the set was constructed ("random", "min-interference",
+	// "spain", "past").
+	Scheme string
+	// Rho is the fraction of edges kept per sparsified layer (0 when the
+	// scheme does not use ρ).
+	Rho float64
+}
+
+// N returns the number of layers n.
+func (ls *LayerSet) N() int { return len(ls.Layers) }
+
+// fullLayer returns a layer containing all edges of g.
+func fullLayer(g *graph.Graph) Layer {
+	mask := make([]bool, g.M())
+	for i := range mask {
+		mask[i] = true
+	}
+	return Layer{Mask: mask, EdgeCount: g.M()}
+}
+
+// Random builds n layers by the random uniform edge sampling of Listing 1:
+// layer 1 keeps all links; each of the remaining n−1 layers keeps each edge
+// independently with probability ρ (using the canonical orientation given
+// by a fresh random vertex permutation, exactly as the listing's
+// π(u) < π(v) convention). A sample that disconnects the network is
+// rejected and redrawn, per §V-B2.
+func Random(g *graph.Graph, n int, rho float64, rng *rand.Rand) (*LayerSet, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("layers: n=%d must be >= 1", n)
+	}
+	if rho <= 0 || rho > 1 {
+		return nil, fmt.Errorf("layers: rho=%f must be in (0,1]", rho)
+	}
+	ls := &LayerSet{Base: g, Scheme: "random", Rho: rho}
+	ls.Layers = append(ls.Layers, fullLayer(g))
+	const maxAttempts = 200
+	for li := 1; li < n; li++ {
+		ok := false
+		for attempt := 0; attempt < maxAttempts; attempt++ {
+			// Listing 1 samples each edge once in the canonical orientation
+			// given by a random vertex permutation π (the π(u) < π(v)
+			// condition only provides acyclicity for directed deployments;
+			// full-duplex links make the orientation immaterial here).
+			mask := make([]bool, g.M())
+			count := 0
+			for id := range g.Edges() {
+				if rng.Float64() < rho {
+					mask[id] = true
+					count++
+				}
+			}
+			if !g.SubsetConnected(mask) {
+				continue
+			}
+			ls.Layers = append(ls.Layers, Layer{Mask: mask, EdgeCount: count})
+			ok = true
+			break
+		}
+		if !ok {
+			return nil, fmt.Errorf("layers: could not sample a connected layer with rho=%f after %d attempts", rho, maxAttempts)
+		}
+	}
+	return ls, nil
+}
+
+// WithoutEdges returns a copy of the layer set with the given base edges
+// removed from every layer — the "recompute layers" repair path for major
+// topology updates of §V-G. The caller rebuilds forwarding tables on the
+// result. Layers that become disconnected are kept (forwarding marks the
+// unreachable pairs; the flowlet balancer avoids them).
+func (ls *LayerSet) WithoutEdges(failed []int) *LayerSet {
+	dead := make([]bool, ls.Base.M())
+	for _, id := range failed {
+		dead[id] = true
+	}
+	out := &LayerSet{Base: ls.Base, Scheme: ls.Scheme + "+repaired", Rho: ls.Rho}
+	for _, l := range ls.Layers {
+		mask := make([]bool, len(l.Mask))
+		count := 0
+		for id, on := range l.Mask {
+			if on && !dead[id] {
+				mask[id] = true
+				count++
+			}
+		}
+		out.Layers = append(out.Layers, Layer{Mask: mask, EdgeCount: count})
+	}
+	return out
+}
+
+// Forwarding holds per-layer destination-based next-hop tables, the σ_i
+// functions of §V-A deployed as forwarding tables (Listing 3). An entry of
+// -1 means the destination is unreachable within the layer (possible for
+// sparse SPAIN/min-interference layers); callers fall back to layer 0.
+type Forwarding struct {
+	Nr     int
+	tables [][]int32 // tables[layer][dst*Nr+src] = next-hop router or -1
+}
+
+// NumLayers returns the number of layers with tables.
+func (f *Forwarding) NumLayers() int { return len(f.tables) }
+
+// Next returns the next-hop router from src toward dst within the given
+// layer, or -1 if unreachable in that layer.
+func (f *Forwarding) Next(layer, src, dst int) int32 {
+	return f.tables[layer][dst*f.Nr+src]
+}
+
+// Reachable reports whether dst is reachable from src within the layer.
+func (f *Forwarding) Reachable(layer, src, dst int) bool {
+	return src == dst || f.tables[layer][dst*f.Nr+src] >= 0
+}
+
+// PathLen walks the forwarding function from src to dst within the layer
+// and returns the hop count, or -1 on a routing hole. It also detects
+// loops (which would indicate a table construction bug).
+func (f *Forwarding) PathLen(layer, src, dst int) int {
+	hops := 0
+	v := src
+	for v != dst {
+		nxt := f.Next(layer, v, dst)
+		if nxt < 0 {
+			return -1
+		}
+		v = int(nxt)
+		hops++
+		if hops > f.Nr {
+			return -1 // loop guard; cannot happen with BFS-built tables
+		}
+	}
+	return hops
+}
+
+// BuildForwarding populates the forwarding tables of every layer (Listing 3
+// semantics): within each layer, minimum paths between all router pairs;
+// where several first hops tie, one is chosen uniformly at random (§V-C).
+// Complexity is O(n · N_r · (N_r + M)) using one reverse BFS per
+// destination rather than the listing's Floyd–Warshall exposition.
+func BuildForwarding(ls *LayerSet, rng *rand.Rand) *Forwarding {
+	g := ls.Base
+	nr := g.N()
+	f := &Forwarding{Nr: nr}
+	dist := make([]int32, nr)
+	for _, layer := range ls.Layers {
+		table := make([]int32, nr*nr)
+		for i := range table {
+			table[i] = -1
+		}
+		for dst := 0; dst < nr; dst++ {
+			// BFS from dst over layer edges gives dist-to-dst for all
+			// sources (undirected graph: distances are symmetric).
+			for i := range dist {
+				dist[i] = graph.Unreachable
+			}
+			dist[dst] = 0
+			queue := []int32{int32(dst)}
+			for qi := 0; qi < len(queue); qi++ {
+				v := queue[qi]
+				for _, h := range g.Neighbors(int(v)) {
+					if !layer.Mask[h.Edge] {
+						continue
+					}
+					if dist[h.To] == graph.Unreachable {
+						dist[h.To] = dist[v] + 1
+						queue = append(queue, h.To)
+					}
+				}
+			}
+			row := table[dst*nr : (dst+1)*nr]
+			for src := 0; src < nr; src++ {
+				if src == dst || dist[src] == graph.Unreachable {
+					continue
+				}
+				// Choose u.a.r. among neighbors one step closer to dst.
+				count := 0
+				var pick int32 = -1
+				for _, h := range g.Neighbors(src) {
+					if !layer.Mask[h.Edge] {
+						continue
+					}
+					if dist[h.To] == dist[src]-1 {
+						count++
+						if rng == nil {
+							if pick < 0 {
+								pick = h.To
+							}
+						} else if rng.Intn(count) == 0 {
+							pick = h.To
+						}
+					}
+				}
+				row[src] = pick
+			}
+		}
+		f.tables = append(f.tables, table)
+	}
+	return f
+}
+
+// LayerPathLengths returns, for a router pair, the per-layer path length
+// under the layer's minimal routing (-1 where unreachable). Layer-local
+// minimal paths in sparsified layers are the paper's "almost" shortest
+// global paths.
+func (f *Forwarding) LayerPathLengths(src, dst int) []int {
+	out := make([]int, f.NumLayers())
+	for l := range f.tables {
+		out[l] = f.PathLen(l, src, dst)
+	}
+	return out
+}
+
+// Stats summarizes a layer set: edges per layer and the number of distinct
+// next hops the set provides per router pair (a direct path-diversity
+// measure of the deployed configuration).
+type Stats struct {
+	EdgesPerLayer []int
+	// MeanDistinctPaths is the average (over sampled pairs) number of
+	// distinct (first-hop, length) routes across layers.
+	MeanDistinctPaths float64
+}
+
+// Summarize computes layer statistics using sampled router pairs.
+func Summarize(ls *LayerSet, f *Forwarding, samples int, rng *rand.Rand) Stats {
+	st := Stats{}
+	for _, l := range ls.Layers {
+		st.EdgesPerLayer = append(st.EdgesPerLayer, l.EdgeCount)
+	}
+	if samples <= 0 || ls.Base.N() < 2 {
+		return st
+	}
+	total := 0.0
+	for i := 0; i < samples; i++ {
+		s, t := graph.SampleDistinctPair(rng, ls.Base.N())
+		type route struct {
+			first int32
+			len   int
+		}
+		distinct := map[route]bool{}
+		for l := 0; l < f.NumLayers(); l++ {
+			nh := f.Next(l, s, t)
+			if nh < 0 {
+				continue
+			}
+			distinct[route{nh, f.PathLen(l, s, t)}] = true
+		}
+		total += float64(len(distinct))
+	}
+	st.MeanDistinctPaths = total / float64(samples)
+	return st
+}

@@ -1,0 +1,115 @@
+package layers
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// PAST (Stephens et al., CoNEXT'12), per Appendix C-C / Listing 5: one
+// spanning tree per address, built by BFS with random tie-breaking; the
+// non-minimal variant (inspired by Valiant load balancing) roots the tree
+// at a random intermediate switch rather than at the destination. When
+// integrated into the layered-routing comparison, the number of trees is
+// capped at n so all schemes use equally many layers (§VI-C).
+
+// PASTVariant selects tree rooting.
+type PASTVariant int
+
+const (
+	// PASTBaseline roots each spanning tree at a destination switch
+	// chosen round-robin (the per-address tree of the original scheme).
+	PASTBaseline PASTVariant = iota
+	// PASTNonMinimal roots each tree at a random switch (the Valiant-
+	// inspired variant of Listing 5).
+	PASTNonMinimal
+)
+
+// PAST builds n−1 spanning-tree layers plus the full layer 0.
+func PAST(g *graph.Graph, n int, variant PASTVariant, rng *rand.Rand) (*LayerSet, error) {
+	ls := &LayerSet{Base: g, Scheme: "past"}
+	ls.Layers = append(ls.Layers, fullLayer(g))
+	for li := 1; li < n; li++ {
+		var root int
+		switch variant {
+		case PASTNonMinimal:
+			root = rng.Intn(g.N())
+		default:
+			root = (li - 1) % g.N()
+		}
+		mask := spanningTreeBFS(g, root, rng)
+		count := 0
+		for _, on := range mask {
+			if on {
+				count++
+			}
+		}
+		ls.Layers = append(ls.Layers, Layer{Mask: mask, EdgeCount: count})
+	}
+	return ls, nil
+}
+
+// spanningTreeBFS builds a BFS spanning tree from root with random
+// tie-breaking: the neighbor exploration order at each vertex is shuffled
+// so that repeated calls distribute tree edges over physical links (the
+// load-spreading goal of PAST).
+func spanningTreeBFS(g *graph.Graph, root int, rng *rand.Rand) []bool {
+	mask := make([]bool, g.M())
+	visited := make([]bool, g.N())
+	visited[root] = true
+	queue := []int32{int32(root)}
+	order := make([]graph.Half, 0, 64)
+	for qi := 0; qi < len(queue); qi++ {
+		v := queue[qi]
+		order = append(order[:0], g.Neighbors(int(v))...)
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, h := range order {
+			if !visited[h.To] {
+				visited[h.To] = true
+				mask[h.Edge] = true
+				queue = append(queue, h.To)
+			}
+		}
+	}
+	return mask
+}
+
+// KShortestPathSets computes, for each requested router pair, up to k
+// loop-free shortest paths (Yen's algorithm) — the k-shortest-paths
+// comparison baseline of §VI (the routing used by Jellyfish). The result
+// feeds the path-restricted MCF formulation; it is path-based rather than
+// layer-based, exactly as in the paper's comparison.
+func KShortestPathSets(g *graph.Graph, pairs [][2]int, k int) map[[2]int][][]int32 {
+	out := make(map[[2]int][][]int32, len(pairs))
+	for _, pr := range pairs {
+		out[pr] = g.YenKShortest(pr[0], pr[1], k, graph.Unit)
+	}
+	return out
+}
+
+// LayerPaths extracts, for a router pair, the concrete per-layer path
+// (vertex sequence) induced by a forwarding table — the path set a
+// FatPaths sender load-balances over.
+func LayerPaths(f *Forwarding, src, dst int) [][]int32 {
+	var out [][]int32
+	for l := 0; l < f.NumLayers(); l++ {
+		if !f.Reachable(l, src, dst) {
+			continue
+		}
+		path := []int32{int32(src)}
+		v := src
+		for v != dst {
+			nxt := f.Next(l, v, dst)
+			if nxt < 0 || len(path) > f.Nr {
+				path = nil
+				break
+			}
+			path = append(path, nxt)
+			v = int(nxt)
+		}
+		if path != nil {
+			out = append(out, path)
+		}
+	}
+	return out
+}

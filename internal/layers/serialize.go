@@ -1,0 +1,91 @@
+package layers
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+)
+
+// Serialization of deployed layer configurations. The paper notes that
+// "to facilitate implementation of FatPaths, the project repository
+// contains layer configurations (ρ, n) that ensure high-performance
+// routing for used topologies" (§V-B) — this file provides that artifact:
+// a JSON format carrying the layer masks (as edge-ID lists) plus the
+// construction metadata, so a configuration computed once can be shipped
+// and redeployed without recomputation.
+
+// layerSetJSON is the wire format.
+type layerSetJSON struct {
+	Scheme   string  `json:"scheme"`
+	Rho      float64 `json:"rho,omitempty"`
+	Vertices int     `json:"vertices"`
+	Edges    int     `json:"edges"`
+	// Layers lists, per layer, the base-graph edge IDs it contains.
+	// Layer 0 (all edges) is stored as null to keep files small.
+	Layers [][]int32 `json:"layers"`
+}
+
+// Save serializes the layer set as JSON.
+func (ls *LayerSet) Save(w io.Writer) error {
+	out := layerSetJSON{
+		Scheme:   ls.Scheme,
+		Rho:      ls.Rho,
+		Vertices: ls.Base.N(),
+		Edges:    ls.Base.M(),
+		Layers:   make([][]int32, len(ls.Layers)),
+	}
+	for i, l := range ls.Layers {
+		if l.EdgeCount == ls.Base.M() {
+			out.Layers[i] = nil // full layer, implicit
+			continue
+		}
+		ids := make([]int32, 0, l.EdgeCount)
+		for id, on := range l.Mask {
+			if on {
+				ids = append(ids, int32(id))
+			}
+		}
+		out.Layers[i] = ids
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// ReadLayerSet deserializes a layer set against its base graph. The base
+// graph must be bit-identical (same construction, same seed) to the one
+// the configuration was computed for; vertex/edge counts are verified.
+func ReadLayerSet(r io.Reader, base *graph.Graph) (*LayerSet, error) {
+	var in layerSetJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("layers: decode: %w", err)
+	}
+	if in.Vertices != base.N() || in.Edges != base.M() {
+		return nil, fmt.Errorf("layers: configuration is for a %dv/%de graph, base has %dv/%de",
+			in.Vertices, in.Edges, base.N(), base.M())
+	}
+	ls := &LayerSet{Base: base, Scheme: in.Scheme, Rho: in.Rho}
+	for li, ids := range in.Layers {
+		if ids == nil {
+			ls.Layers = append(ls.Layers, fullLayer(base))
+			continue
+		}
+		mask := make([]bool, base.M())
+		count := 0
+		for _, id := range ids {
+			if id < 0 || int(id) >= base.M() {
+				return nil, fmt.Errorf("layers: layer %d references edge %d out of range", li, id)
+			}
+			if !mask[id] {
+				mask[id] = true
+				count++
+			}
+		}
+		ls.Layers = append(ls.Layers, Layer{Mask: mask, EdgeCount: count})
+	}
+	if len(ls.Layers) == 0 {
+		return nil, fmt.Errorf("layers: configuration contains no layers")
+	}
+	return ls, nil
+}

@@ -1,0 +1,168 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSimpleMaximization(t *testing.T) {
+	// max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 -> x=4, y=0, obj=12.
+	p := New(2)
+	p.SetObjective(0, 3)
+	p.SetObjective(1, 2)
+	p.AddConstraint([]int{0, 1}, []float64{1, 1}, LE, 4)
+	p.AddConstraint([]int{0, 1}, []float64{1, 3}, LE, 6)
+	x, obj, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(obj, 12, 1e-6) {
+		t.Fatalf("obj=%f, want 12", obj)
+	}
+	if !approx(x[0], 4, 1e-6) || !approx(x[1], 0, 1e-6) {
+		t.Fatalf("x=%v, want [4 0]", x)
+	}
+}
+
+func TestClassicDiet(t *testing.T) {
+	// max 5x + 4y s.t. 6x+4y <= 24, x+2y <= 6 -> x=3, y=1.5, obj=21.
+	p := New(2)
+	p.SetObjective(0, 5)
+	p.SetObjective(1, 4)
+	p.AddConstraint([]int{0, 1}, []float64{6, 4}, LE, 24)
+	p.AddConstraint([]int{0, 1}, []float64{1, 2}, LE, 6)
+	x, obj, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(obj, 21, 1e-6) || !approx(x[0], 3, 1e-6) || !approx(x[1], 1.5, 1e-6) {
+		t.Fatalf("x=%v obj=%f, want [3 1.5] 21", x, obj)
+	}
+}
+
+func TestEqualityConstraints(t *testing.T) {
+	// max x + y s.t. x + y = 5, x <= 3 -> obj 5 with x<=3.
+	p := New(2)
+	p.SetObjective(0, 1)
+	p.SetObjective(1, 1)
+	p.AddConstraint([]int{0, 1}, []float64{1, 1}, EQ, 5)
+	p.AddConstraint([]int{0}, []float64{1}, LE, 3)
+	x, obj, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(obj, 5, 1e-6) {
+		t.Fatalf("obj=%f, want 5", obj)
+	}
+	if x[0] > 3+1e-6 {
+		t.Fatalf("x[0]=%f violates bound", x[0])
+	}
+}
+
+func TestGEConstraints(t *testing.T) {
+	// max -x (i.e. minimize x) s.t. x >= 2 -> x=2.
+	p := New(1)
+	p.SetObjective(0, -1)
+	p.AddConstraint([]int{0}, []float64{1}, GE, 2)
+	x, obj, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(x[0], 2, 1e-6) || !approx(obj, -2, 1e-6) {
+		t.Fatalf("x=%v obj=%f, want x=2 obj=-2", x, obj)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := New(1)
+	p.SetObjective(0, 1)
+	p.AddConstraint([]int{0}, []float64{1}, LE, 1)
+	p.AddConstraint([]int{0}, []float64{1}, GE, 2)
+	if _, _, err := p.Solve(); err != ErrInfeasible {
+		t.Fatalf("err=%v, want ErrInfeasible", err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := New(2)
+	p.SetObjective(0, 1)
+	p.AddConstraint([]int{1}, []float64{1}, LE, 1)
+	if _, _, err := p.Solve(); err != ErrUnbounded {
+		t.Fatalf("err=%v, want ErrUnbounded", err)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// x - y <= -1 with x,y >= 0: y >= x + 1. max x+y under y <= 3:
+	// x=2, y=3 -> obj 5.
+	p := New(2)
+	p.SetObjective(0, 1)
+	p.SetObjective(1, 1)
+	p.AddConstraint([]int{0, 1}, []float64{1, -1}, LE, -1)
+	p.AddConstraint([]int{1}, []float64{1}, LE, 3)
+	x, obj, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(obj, 5, 1e-6) || !approx(x[1], 3, 1e-6) {
+		t.Fatalf("x=%v obj=%f, want [2 3] 5", x, obj)
+	}
+}
+
+func TestDegenerateDoesNotCycle(t *testing.T) {
+	// Beale's classic cycling example (degenerate without Bland's rule).
+	p := New(4)
+	p.SetObjective(0, 0.75)
+	p.SetObjective(1, -150)
+	p.SetObjective(2, 0.02)
+	p.SetObjective(3, -6)
+	p.AddConstraint([]int{0, 1, 2, 3}, []float64{0.25, -60, -0.04, 9}, LE, 0)
+	p.AddConstraint([]int{0, 1, 2, 3}, []float64{0.5, -90, -0.02, 3}, LE, 0)
+	p.AddConstraint([]int{2}, []float64{1}, LE, 1)
+	_, obj, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(obj, 0.05, 1e-6) {
+		t.Fatalf("obj=%f, want 0.05", obj)
+	}
+}
+
+func TestMaxFlowAsLP(t *testing.T) {
+	// Max flow on a tiny network expressed directly: s->a (cap 3),
+	// s->b (2), a->t (2), b->t (3), a->b (10). Max flow = 4...
+	// variables: f_sa, f_sb, f_at, f_bt, f_ab.
+	p := New(5)
+	// maximize flow into t
+	p.SetObjective(2, 1)
+	p.SetObjective(3, 1)
+	// capacities
+	caps := []float64{3, 2, 2, 3, 10}
+	for i, c := range caps {
+		p.AddConstraint([]int{i}, []float64{1}, LE, c)
+	}
+	// conservation at a: f_sa = f_at + f_ab
+	p.AddConstraint([]int{0, 2, 4}, []float64{1, -1, -1}, EQ, 0)
+	// conservation at b: f_sb + f_ab = f_bt
+	p.AddConstraint([]int{1, 4, 3}, []float64{1, 1, -1}, EQ, 0)
+	_, obj, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(obj, 5, 1e-6) {
+		// s->a->t carries 2, s->a->b->t carries 1, s->b->t carries 2: 5
+		t.Fatalf("max flow obj=%f, want 5", obj)
+	}
+}
+
+func TestPanicsOnBadIndex(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p := New(1)
+	p.AddConstraint([]int{5}, []float64{1}, LE, 1)
+}

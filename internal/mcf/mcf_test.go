@@ -1,0 +1,284 @@
+package mcf
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/layers"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+func ring(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n)
+	}
+	return g
+}
+
+func TestGeneralMATRing(t *testing.T) {
+	// C4, one commodity 0->2, demand 1: two arc-disjoint 2-hop paths,
+	// capacity 1 each -> T = 2.
+	g := ring(4)
+	got, err := GeneralMAT(g, []Commodity{{Src: 0, Dst: 2, Demand: 1}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2) > 1e-6 {
+		t.Fatalf("T=%f, want 2", got)
+	}
+}
+
+func TestGeneralMATContention(t *testing.T) {
+	// Path graph 0-1-2: commodities (0->2) and (1->2) both cross arc 1->2
+	// with demand 1 each -> T = 0.5.
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	got, err := GeneralMAT(g, []Commodity{
+		{Src: 0, Dst: 2, Demand: 1},
+		{Src: 1, Dst: 2, Demand: 1},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.5) > 1e-6 {
+		t.Fatalf("T=%f, want 0.5", got)
+	}
+}
+
+func TestPathMATMatchesGeneralWhenAllPathsGiven(t *testing.T) {
+	// C6, commodity 0->3: both 3-hop paths given explicitly.
+	g := ring(6)
+	ps := PathSets{
+		G:     g,
+		Comms: []Commodity{{Src: 0, Dst: 3, Demand: 1}},
+		Paths: [][][]int32{{
+			{0, 1, 2, 3},
+			{0, 5, 4, 3},
+		}},
+	}
+	pathT, err := PathMAT(ps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genT, err := GeneralMAT(g, ps.Comms, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pathT-genT) > 1e-6 || math.Abs(pathT-2) > 1e-6 {
+		t.Fatalf("pathT=%f genT=%f, want both 2", pathT, genT)
+	}
+}
+
+func TestPathMATRestrictedIsLower(t *testing.T) {
+	// Restricting to a single path halves achievable T on C6.
+	g := ring(6)
+	ps := PathSets{
+		G:     g,
+		Comms: []Commodity{{Src: 0, Dst: 3, Demand: 1}},
+		Paths: [][][]int32{{{0, 1, 2, 3}}},
+	}
+	got, err := PathMAT(ps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-6 {
+		t.Fatalf("single-path T=%f, want 1", got)
+	}
+}
+
+func TestPathMATSharedBottleneck(t *testing.T) {
+	// Two commodities forced through the same arc share its capacity.
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 1)
+	ps := PathSets{
+		G: g,
+		Comms: []Commodity{
+			{Src: 0, Dst: 2, Demand: 1},
+			{Src: 3, Dst: 2, Demand: 1},
+		},
+		Paths: [][][]int32{
+			{{0, 1, 2}},
+			{{3, 1, 2}},
+		},
+	}
+	got, err := PathMAT(ps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.5) > 1e-6 {
+		t.Fatalf("T=%f, want 0.5", got)
+	}
+}
+
+func TestPathMATErrorsOnEmptyPathSet(t *testing.T) {
+	g := ring(4)
+	ps := PathSets{
+		G:     g,
+		Comms: []Commodity{{Src: 0, Dst: 2, Demand: 1}},
+		Paths: [][][]int32{nil},
+	}
+	if _, err := PathMAT(ps, 1); err == nil {
+		t.Fatal("empty path set must error")
+	}
+}
+
+func TestPathMATApproxMatchesLP(t *testing.T) {
+	// Approximation within ~20% of exact on small instances.
+	g := ring(6)
+	ps := PathSets{
+		G:     g,
+		Comms: []Commodity{{Src: 0, Dst: 3, Demand: 1}},
+		Paths: [][][]int32{{
+			{0, 1, 2, 3},
+			{0, 5, 4, 3},
+		}},
+	}
+	exact, _ := PathMAT(ps, 1)
+	approx, err := PathMATApprox(ps, 1, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if approx > exact+1e-9 {
+		t.Fatalf("approx %f exceeds exact %f", approx, exact)
+	}
+	if approx < 0.75*exact {
+		t.Fatalf("approx %f too far below exact %f", approx, exact)
+	}
+}
+
+func TestPathMATApproxOnLayeredSlimFly(t *testing.T) {
+	sf, _ := topo.SlimFly(5, 0)
+	rng := graph.NewRand(1)
+	ls, err := layers.Random(sf.G, 4, 0.6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := layers.BuildForwarding(ls, rng)
+	pat := traffic.WorstCase(sf, 0.3, rng)
+	comms := CommoditiesFromPattern(sf, pat)
+	if len(comms) == 0 {
+		t.Fatal("no commodities")
+	}
+	ps := FromForwarding(sf.G, f, comms)
+	got, err := PathMATApprox(ps, 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got <= 0 {
+		t.Fatalf("layered SF throughput %f, want positive", got)
+	}
+	// More layers should never hurt (weakly more path choice).
+	ls1, _ := layers.Random(sf.G, 1, 0.6, graph.NewRand(1))
+	f1 := layers.BuildForwarding(ls1, graph.NewRand(1))
+	ps1 := FromForwarding(sf.G, f1, comms)
+	got1, err := PathMATApprox(ps1, 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < got1*0.9 {
+		t.Fatalf("4-layer T=%f much worse than 1-layer T=%f", got, got1)
+	}
+}
+
+func TestFromKShortest(t *testing.T) {
+	hx, _ := topo.HyperX(2, 3, 0)
+	comms := []Commodity{{Src: 0, Dst: 8, Demand: 1}}
+	ps := FromKShortest(hx.G, comms, 4)
+	if len(ps.Paths[0]) == 0 {
+		t.Fatal("no k-shortest paths")
+	}
+	got, err := PathMAT(ps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// HX(2,3): 0 and 8 differ in both coordinates -> at least 2 disjoint
+	// 2-hop paths among the 4 shortest.
+	if got < 2-1e-6 {
+		t.Fatalf("T=%f, want >= 2", got)
+	}
+}
+
+func TestCommoditiesFromPattern(t *testing.T) {
+	sf, _ := topo.SlimFly(5, 0) // p=4
+	pat := traffic.OffDiagonal(sf.N(), 4)
+	comms := CommoditiesFromPattern(sf, pat)
+	// All 4 endpoints of each router target the next router: 50
+	// commodities of demand 4.
+	if len(comms) != 50 {
+		t.Fatalf("%d commodities, want 50", len(comms))
+	}
+	for _, c := range comms {
+		if c.Demand != 4 {
+			t.Fatalf("demand %f, want 4", c.Demand)
+		}
+	}
+}
+
+func TestPathMATApproxBadEps(t *testing.T) {
+	g := ring(4)
+	ps := PathSets{G: g, Comms: []Commodity{{0, 2, 1}}, Paths: [][][]int32{{{0, 1, 2}}}}
+	if _, err := PathMATApprox(ps, 1, 0); err == nil {
+		t.Fatal("eps=0 must error")
+	}
+	if _, err := PathMATApprox(ps, 1, 1); err == nil {
+		t.Fatal("eps=1 must error")
+	}
+}
+
+// Property: adding candidate paths never decreases the exact path-MAT.
+func TestPathMATMonotoneInPathsProperty(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := graph.NewRand(seed)
+		n := 6 + rng.Intn(4)
+		g := ring(n)
+		for i := 0; i < n/2; i++ {
+			g.TryAddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		s, d := graph.SampleDistinctPair(rng, n)
+		all := g.YenKShortest(s, d, 4, graph.Unit)
+		if len(all) < 2 {
+			continue
+		}
+		comms := []Commodity{{Src: s, Dst: d, Demand: 1}}
+		t1, err := PathMAT(PathSets{G: g, Comms: comms, Paths: [][][]int32{all[:1]}}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t2, err := PathMAT(PathSets{G: g, Comms: comms, Paths: [][][]int32{all}}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if t2 < t1-1e-9 {
+			t.Fatalf("seed %d: MAT decreased when adding paths: %f -> %f", seed, t1, t2)
+		}
+	}
+}
+
+// Property: path-restricted MAT never exceeds the unrestricted MCF optimum.
+func TestPathMATBoundedByGeneralProperty(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := graph.NewRand(seed + 100)
+		n := 5 + rng.Intn(3)
+		g := ring(n)
+		s, d := graph.SampleDistinctPair(rng, n)
+		comms := []Commodity{{Src: s, Dst: d, Demand: 1}}
+		paths := g.YenKShortest(s, d, 2, graph.Unit)
+		restricted, err := PathMAT(PathSets{G: g, Comms: comms, Paths: [][][]int32{paths}}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		general, err := GeneralMAT(g, comms, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if restricted > general+1e-6 {
+			t.Fatalf("seed %d: restricted MAT %f exceeds general %f", seed, restricted, general)
+		}
+	}
+}

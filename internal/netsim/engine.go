@@ -1,0 +1,97 @@
+// Package netsim is the packet-level discrete-event network simulator used
+// for the paper's §VII evaluation — an htsim/OMNeT-style substrate with
+// full-duplex links, output-queued routers (tail-drop, ECN marking, or
+// NDP-style payload trimming with priority queues), per-layer
+// destination-based forwarding, ECMP hashing, flowlet switching, and three
+// transports: the purified NDP-style receiver-driven transport of §III-C,
+// TCP Reno, and DCTCP.
+package netsim
+
+import "container/heap"
+
+// Time is simulation time in nanoseconds.
+type Time int64
+
+// Common durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * 1000
+	Second      Time = 1000 * 1000 * 1000
+)
+
+// Seconds converts a Time to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+type event struct {
+	at  Time
+	seq int64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event scheduler. Events scheduled for
+// the same instant execute in scheduling order.
+type Engine struct {
+	now    Time
+	seq    int64
+	events eventHeap
+}
+
+// NewEngine returns an engine at time 0.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn at absolute time t (>= now).
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn after delay d.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Run executes events until the queue empties or the horizon passes.
+// It returns the number of events executed.
+func (e *Engine) Run(until Time) int {
+	n := 0
+	for len(e.events) > 0 {
+		if e.events[0].at > until {
+			break
+		}
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.at
+		ev.fn()
+		n++
+	}
+	if e.now < until && len(e.events) == 0 {
+		e.now = until
+	}
+	return n
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }

@@ -1,0 +1,83 @@
+package netsim
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Fault tolerance (§V-G of the paper): FatPaths preprovisions multiple
+// paths within different layers, so when a link fails the flowlet load
+// balancer simply stops using layers whose paths die — the purified
+// transport's trims/timeouts (or TCP's RTO) force a flowlet boundary and
+// the sender re-randomizes onto a surviving layer. For major topology
+// updates layers are recomputed (see layers.BuildForwarding on a masked
+// graph).
+//
+// A failed link drops every packet handed to it (both directions), exactly
+// like a dead cable between two healthy routers.
+
+// FailRouterLink marks the router-router link between routers u and v as
+// failed in both directions. It reports whether such a link existed.
+func (n *Network) FailRouterLink(u, v int) bool {
+	lu, okU := n.routerOut[u][int32(v)]
+	lv, okV := n.routerOut[v][int32(u)]
+	if !okU || !okV {
+		return false
+	}
+	lu.failed = true
+	lv.failed = true
+	return true
+}
+
+// FailRandomLinks fails count distinct router-router links chosen u.a.r.
+// and returns the affected edge IDs.
+func (n *Network) FailRandomLinks(count int, rng *rand.Rand) []int {
+	m := n.topo.G.M()
+	if count > m {
+		count = m
+	}
+	perm := rng.Perm(m)
+	var failed []int
+	for _, id := range perm[:count] {
+		e := n.topo.G.Edge(id)
+		if n.FailRouterLink(int(e.U), int(e.V)) {
+			failed = append(failed, id)
+		}
+	}
+	return failed
+}
+
+// FailedPacketCount reports how many packets died on failed links.
+func (n *Network) FailedPacketCount() int64 {
+	var c int64
+	for _, m := range n.routerOut {
+		for _, l := range m {
+			c += l.failDrops
+		}
+	}
+	return c
+}
+
+// HealAllLinks restores every failed link.
+func (n *Network) HealAllLinks() {
+	for _, m := range n.routerOut {
+		for _, l := range m {
+			l.failed = false
+		}
+	}
+}
+
+// MaskedForwardingInput returns an edge mask with the given edges removed,
+// for recomputing layers after a major topology update (§V-G: "for major
+// (infrequent) topology updates, we recompute layers").
+func MaskedForwardingInput(g *graph.Graph, failedEdges []int) []bool {
+	mask := make([]bool, g.M())
+	for i := range mask {
+		mask[i] = true
+	}
+	for _, id := range failedEdges {
+		mask[id] = false
+	}
+	return mask
+}

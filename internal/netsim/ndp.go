@@ -1,0 +1,195 @@
+package netsim
+
+// NDP-style purified transport (§III-C), following Handley et al.'s design
+// as adapted by FatPaths:
+//
+//   - The sender transmits the first window (InitialWindow packets) at line
+//     rate without probing.
+//   - Congested routers trim payloads instead of dropping packets; trimmed
+//     headers travel in priority queues, so the receiver always learns what
+//     was sent.
+//   - The receiver drives the transfer: every arrival (full or trimmed)
+//     earns one paced PULL; a PULL releases one packet at the sender —
+//     a retransmission of a trimmed sequence first, else the next new one.
+//   - Retransmissions are priority-queued (head-of-line blocking relief).
+//   - When the receiver sees trimmed packets it piggybacks a layer-change
+//     request on the next PULL; the sender then re-randomizes the flowlet
+//     layer (the LetFlow-over-layers adaptivity of §V-F).
+//   - A sender-side keepalive recovers from lost control packets.
+
+// ndpStart launches a flow: the first RTT worth of packets at line rate.
+func (s *Sim) ndpStart(f *flow) {
+	iw := int32(s.Cfg.InitialWindow)
+	if iw > f.total {
+		iw = f.total
+	}
+	for i := int32(0); i < iw; i++ {
+		s.ndpSendData(f, f.snd.nextNew, false)
+		f.snd.nextNew++
+	}
+	f.snd.lastAct = s.Eng.Now()
+	s.ndpKeepalive(f)
+}
+
+// ndpSendData transmits one data packet (possibly a retransmission).
+func (s *Sim) ndpSendData(f *flow, seq int32, retx bool) {
+	s.pickRoute(f)
+	size := f.mss + HeaderBytes
+	if int64(seq+1)*int64(f.mss) > f.spec.Bytes {
+		rem := f.spec.Bytes - int64(seq)*int64(f.mss)
+		if rem < 1 {
+			rem = 1
+		}
+		size = int32(rem) + HeaderBytes
+	}
+	p := &Packet{
+		FlowID:  f.id,
+		SrcHost: f.spec.Src,
+		DstHost: f.spec.Dst,
+		Seq:     seq,
+		Bytes:   size,
+		Kind:    KindData,
+		Layer:   f.layer,
+		Salt:    f.salt,
+		Retx:    retx,
+	}
+	if retx {
+		f.snd.retxCount++
+	}
+	f.snd.inflight++
+	s.Net.sendFromHost(p)
+}
+
+// ndpRecv handles both receiver-side data and sender-side pulls.
+func (s *Sim) ndpRecv(f *flow, host int32, p *Packet) {
+	switch p.Kind {
+	case KindData:
+		if host != f.spec.Dst {
+			return // stray
+		}
+		s.ndpDataAtReceiver(f, p)
+	case KindPull:
+		if host != f.spec.Src {
+			return
+		}
+		s.ndpPullAtSender(f, p)
+	}
+}
+
+func (s *Sim) ndpDataAtReceiver(f *flow, p *Packet) {
+	wantLayerChange := false
+	if p.Trimmed {
+		f.trimsSeen++
+		wantLayerChange = true
+	} else if !f.received[p.Seq] {
+		f.received[p.Seq] = true
+		f.numReceived++
+		if f.numReceived == f.total {
+			s.markDone(f)
+		}
+	}
+	if f.pendingLayer {
+		wantLayerChange = true
+		f.pendingLayer = false
+	}
+	if f.done && !p.Trimmed {
+		// Transfer complete: one final pull is unnecessary; stop pulling to
+		// quiesce the network.
+		return
+	}
+	if p.Trimmed && f.received[p.Seq] {
+		// Duplicate of an already-received sequence got trimmed; still pull
+		// (it carries the layer-change hint) but do not request retx.
+		s.ndpSendPull(f, p.Seq, false, wantLayerChange)
+		return
+	}
+	s.ndpSendPull(f, p.Seq, p.Trimmed, wantLayerChange)
+}
+
+// ndpSendPull emits a paced PULL carrying the sequence it acknowledges
+// (or nacks, when trimmed) and the layer-change hint.
+func (s *Sim) ndpSendPull(f *flow, seq int32, wasTrimmed, layerChange bool) {
+	host := f.spec.Dst
+	// Pace pulls at the access-link data rate (one per full-MTU time).
+	interval := Time(float64(s.Cfg.MTU*8) / s.Cfg.LinkBps * 1e9)
+	at := s.Eng.Now()
+	if s.lastPull[host]+interval > at {
+		at = s.lastPull[host] + interval
+	}
+	s.lastPull[host] = at
+	pull := &Packet{
+		FlowID:  f.id,
+		SrcHost: f.spec.Dst,
+		DstHost: f.spec.Src,
+		Seq:     seq,
+		Bytes:   HeaderBytes,
+		Kind:    KindPull,
+		Layer:   s.controlLayer(f.spec.Dst, f.spec.Src),
+		Trimmed: wasTrimmed,
+		ECN:     layerChange, // repurposed bit: "change layer" hint
+	}
+	s.Eng.At(at, func() { s.Net.sendFromHost(pull) })
+}
+
+func (s *Sim) ndpPullAtSender(f *flow, pull *Packet) {
+	f.snd.lastAct = s.Eng.Now()
+	if f.snd.inflight > 0 {
+		f.snd.inflight--
+	}
+	if pull.Trimmed {
+		// The referenced sequence lost its payload: queue a priority retx.
+		f.snd.retxQ = append(f.snd.retxQ, pull.Seq)
+	} else if !f.snd.delivered[pull.Seq] {
+		f.snd.delivered[pull.Seq] = true
+		f.snd.nDeliv++
+	}
+	if pull.ECN && s.Cfg.LB == LBFatPaths {
+		// Receiver observed congestion on the current layer: re-randomize
+		// (forces a flowlet boundary).
+		s.reselectLayer(f)
+	}
+	// A pull releases one packet: retransmissions first.
+	if len(f.snd.retxQ) > 0 {
+		seq := f.snd.retxQ[0]
+		f.snd.retxQ = f.snd.retxQ[1:]
+		s.ndpSendData(f, seq, true)
+		return
+	}
+	if f.snd.nextNew < f.total {
+		s.ndpSendData(f, f.snd.nextNew, false)
+		f.snd.nextNew++
+	}
+}
+
+// ndpKeepalive recovers from lost control packets: if nothing happened for
+// several RTOmin periods and the flow is incomplete, resend the lowest
+// sequence not known to be delivered.
+func (s *Sim) ndpKeepalive(f *flow) {
+	const idlePeriods = 4
+	s.Eng.After(Time(idlePeriods)*s.Cfg.RTOMin, func() {
+		if f.done {
+			return
+		}
+		if s.Eng.Now()-f.snd.lastAct >= Time(idlePeriods)*s.Cfg.RTOMin {
+			// Rotate through undelivered sequences rather than hammering
+			// the lowest one: with lossy control paths the lowest may have
+			// arrived long ago while a later one is genuinely missing.
+			for probe := int32(0); probe < f.snd.nextNew; probe++ {
+				seq := (f.snd.kaNext + probe) % f.snd.nextNew
+				if !f.snd.delivered[seq] {
+					s.ndpSendData(f, seq, true)
+					f.snd.kaNext = seq + 1
+					break
+				}
+			}
+			if f.snd.nextNew < f.total {
+				// Also nudge a new packet in case all sent ones arrived but
+				// their pulls were lost.
+				s.ndpSendData(f, f.snd.nextNew, false)
+				f.snd.nextNew++
+			}
+			f.snd.lastAct = s.Eng.Now()
+		}
+		s.ndpKeepalive(f)
+	})
+}

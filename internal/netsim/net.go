@@ -1,0 +1,359 @@
+package netsim
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/layers"
+	"repro/internal/topo"
+)
+
+// PktKind distinguishes packet roles.
+type PktKind uint8
+
+// Packet kinds.
+const (
+	KindData PktKind = iota
+	KindAck
+	KindPull // NDP receiver-driven credit
+	KindNack // NDP trimmed-header notification is delivered as the trimmed data packet itself; Nack is unused on the wire but kept for clarity in tests
+)
+
+// HeaderBytes is the wire size of a packet header / control packet.
+const HeaderBytes = 64
+
+// Packet is the unit of transmission.
+type Packet struct {
+	FlowID  int32
+	SrcHost int32
+	DstHost int32
+	Seq     int32
+	Bytes   int32 // current wire size (payload trimmed packets shrink)
+	Kind    PktKind
+	Layer   int8   // >= 0: layered forwarding; -1: ECMP over minimal paths
+	Salt    uint32 // per-flowlet salt for ECMP/LetFlow hashing
+	Trimmed bool   // payload dropped by a congested router (NDP mode)
+	Retx    bool   // retransmission (priority-queued in NDP mode)
+	ECN     bool   // congestion-experienced mark
+	Hops    int32  // router-router hops traversed (observability)
+}
+
+func (p *Packet) prio() bool { return p.Kind != KindData || p.Trimmed || p.Retx }
+
+// link is one direction of a full-duplex cable with an output queue at its
+// transmitter.
+type link struct {
+	net      *Network
+	toRouter int32 // receiving router, or -1
+	toHost   int32 // receiving host, or -1
+
+	bps       float64
+	delay     Time
+	qcap      int // data queue capacity (packets)
+	pqcap     int // priority queue capacity
+	ecnThresh int // mark CE when data queue length reaches this (0 = off)
+	trimMode  bool
+
+	q      []*Packet
+	pq     []*Packet
+	busy   bool
+	failed bool // dead cable: every packet handed to it is lost (§V-G)
+
+	// Stats.
+	Drops, Trims, TxPackets, TxBytes int64
+	failDrops                        int64
+}
+
+// txTime returns the serialization time of b bytes.
+func (l *link) txTime(b int32) Time {
+	return Time(float64(b*8) / l.bps * 1e9)
+}
+
+// enqueue places a packet into the transmitter queue, applying the
+// configured congestion behaviour: ECN marking, NDP payload trimming into
+// the priority queue (§III-C), or tail drop.
+func (l *link) enqueue(p *Packet) {
+	if l.failed {
+		l.failDrops++
+		return
+	}
+	if p.prio() {
+		if len(l.pq) < l.pqcap {
+			l.pq = append(l.pq, p)
+			l.kick()
+		} else {
+			l.Drops++
+		}
+		return
+	}
+	if len(l.q) < l.qcap {
+		if l.ecnThresh > 0 && len(l.q)+1 >= l.ecnThresh {
+			p.ECN = true
+		}
+		l.q = append(l.q, p)
+		l.kick()
+		return
+	}
+	if l.trimMode {
+		// Drop only the payload; the header with all metadata is preserved
+		// and prioritized so the receiver learns about the congestion.
+		p.Trimmed = true
+		p.Bytes = HeaderBytes
+		if len(l.pq) < l.pqcap {
+			l.Trims++
+			l.pq = append(l.pq, p)
+			l.kick()
+		} else {
+			l.Drops++
+		}
+		return
+	}
+	l.Drops++
+}
+
+// kick starts transmitting if idle. Priority traffic (control packets,
+// trimmed headers, retransmissions) is served first (§III-C).
+func (l *link) kick() {
+	if l.busy {
+		return
+	}
+	var p *Packet
+	if len(l.pq) > 0 {
+		p = l.pq[0]
+		l.pq = l.pq[1:]
+	} else if len(l.q) > 0 {
+		p = l.q[0]
+		l.q = l.q[1:]
+	} else {
+		return
+	}
+	l.busy = true
+	l.TxPackets++
+	l.TxBytes += int64(p.Bytes)
+	tx := l.txTime(p.Bytes)
+	eng := l.net.eng
+	eng.After(tx, func() {
+		l.busy = false
+		l.kick()
+		eng.After(l.delay, func() { l.net.deliver(l, p) })
+	})
+}
+
+// queueLen reports the current data-queue occupancy (tests/observability).
+func (l *link) queueLen() int { return len(l.q) }
+
+// Network wires a topology, forwarding tables and hosts into a running
+// simulation.
+type Network struct {
+	eng  *Engine
+	topo *topo.Topology
+	fwd  *layers.Forwarding
+	cfg  Config
+
+	// routerOut[r] maps neighbor router -> transmitting link.
+	routerOut []map[int32]*link
+	hostUp    []*link // host -> its router
+	hostDown  []*link // router -> host
+
+	// ECMP minimal multi-next-hop tables, built lazily per destination
+	// router: ecmp[dst] is nil until first use; then ecmp[dst][src] lists
+	// the neighbors of src one hop closer to dst.
+	ecmp [][][]int32
+
+	hostRecv func(host int32, p *Packet)
+
+	// Stats.
+	DeliveredData int64
+}
+
+// buildNetwork constructs links per the config.
+func buildNetwork(eng *Engine, t *topo.Topology, fwd *layers.Forwarding, cfg Config) *Network {
+	n := &Network{
+		eng:       eng,
+		topo:      t,
+		fwd:       fwd,
+		cfg:       cfg,
+		routerOut: make([]map[int32]*link, t.Nr()),
+		hostUp:    make([]*link, t.N()),
+		hostDown:  make([]*link, t.N()),
+		ecmp:      make([][][]int32, t.Nr()),
+	}
+	mk := func(toRouter, toHost int32) *link {
+		return &link{
+			net:       n,
+			toRouter:  toRouter,
+			toHost:    toHost,
+			bps:       cfg.LinkBps,
+			delay:     cfg.LinkDelay,
+			qcap:      cfg.QueueCap,
+			pqcap:     cfg.PrioQueueCap,
+			ecnThresh: cfg.ECNThreshold,
+			trimMode:  cfg.TrimMode,
+		}
+	}
+	for r := 0; r < t.Nr(); r++ {
+		n.routerOut[r] = make(map[int32]*link, t.G.Degree(r))
+	}
+	for _, e := range t.G.Edges() {
+		n.routerOut[e.U][e.V] = mk(e.V, -1)
+		n.routerOut[e.V][e.U] = mk(e.U, -1)
+	}
+	for h := 0; h < t.N(); h++ {
+		r := int32(t.RouterOf(h))
+		n.hostUp[h] = mk(r, -1)
+		n.hostDown[h] = mk(-1, int32(h))
+	}
+	return n
+}
+
+// sendFromHost injects a packet at its source host's uplink.
+func (n *Network) sendFromHost(p *Packet) {
+	n.hostUp[p.SrcHost].enqueue(p)
+}
+
+// deliver handles a packet arriving at the receiving end of a link.
+func (n *Network) deliver(l *link, p *Packet) {
+	if l.toHost >= 0 {
+		n.DeliveredData++
+		n.hostRecv(l.toHost, p)
+		return
+	}
+	n.forward(int(l.toRouter), p)
+}
+
+// forward routes a packet at a router.
+func (n *Network) forward(r int, p *Packet) {
+	dstRouter := n.topo.RouterOf(int(p.DstHost))
+	if r == dstRouter {
+		n.hostDown[p.DstHost].enqueue(p)
+		return
+	}
+	p.Hops++
+	var next int32 = -1
+	if p.Layer >= 0 {
+		next = n.fwd.Next(int(p.Layer), r, dstRouter)
+		if next < 0 {
+			// Routing hole in a sparse layer: fall back to the full layer.
+			next = n.fwd.Next(0, r, dstRouter)
+		}
+	} else {
+		next = n.ecmpNext(r, dstRouter, p)
+	}
+	if next < 0 {
+		panic(fmt.Sprintf("netsim: no route from router %d to router %d", r, dstRouter))
+	}
+	n.routerOut[r][next].enqueue(p)
+}
+
+// ecmpNext picks a minimal next hop by flow hash (flow-based ECMP with the
+// Fowler–Noll–Vo hash, §VII-A6). The flowlet salt changes the hash when a
+// LetFlow sender opens a new flowlet.
+func (n *Network) ecmpNext(r, dstRouter int, p *Packet) int32 {
+	if n.ecmp[dstRouter] == nil {
+		n.buildECMP(dstRouter)
+	}
+	cands := n.ecmp[dstRouter][r]
+	if len(cands) == 0 {
+		return -1
+	}
+	if len(cands) == 1 {
+		return cands[0]
+	}
+	h := fnv.New32a()
+	var buf [13]byte
+	buf[0] = byte(p.FlowID)
+	buf[1] = byte(p.FlowID >> 8)
+	buf[2] = byte(p.FlowID >> 16)
+	buf[3] = byte(p.FlowID >> 24)
+	buf[4] = byte(p.Salt)
+	buf[5] = byte(p.Salt >> 8)
+	buf[6] = byte(p.Salt >> 16)
+	buf[7] = byte(p.Salt >> 24)
+	buf[8] = byte(r)
+	buf[9] = byte(r >> 8)
+	buf[10] = byte(r >> 16)
+	buf[11] = byte(r >> 24)
+	buf[12] = byte(p.Kind)
+	h.Write(buf[:])
+	return cands[h.Sum32()%uint32(len(cands))]
+}
+
+// buildECMP computes, for one destination router, every router's set of
+// minimal next hops via a reverse BFS.
+func (n *Network) buildECMP(dst int) {
+	g := n.topo.G
+	dist := g.BFS(dst)
+	table := make([][]int32, g.N())
+	for src := 0; src < g.N(); src++ {
+		if src == dst || dist[src] < 0 {
+			continue
+		}
+		var cands []int32
+		for _, h := range g.Neighbors(src) {
+			if dist[h.To] == dist[src]-1 {
+				cands = append(cands, h.To)
+			}
+		}
+		table[src] = cands
+	}
+	n.ecmp[dst] = table
+}
+
+// TotalDrops sums packet drops over all links.
+func (n *Network) TotalDrops() int64 {
+	var d int64
+	for _, m := range n.routerOut {
+		for _, l := range m {
+			d += l.Drops
+		}
+	}
+	for _, l := range n.hostUp {
+		d += l.Drops
+	}
+	for _, l := range n.hostDown {
+		d += l.Drops
+	}
+	return d
+}
+
+// TotalTrims sums NDP payload trims over all links.
+func (n *Network) TotalTrims() int64 {
+	var d int64
+	for _, m := range n.routerOut {
+		for _, l := range m {
+			d += l.Trims
+		}
+	}
+	for _, l := range n.hostUp {
+		d += l.Trims
+	}
+	for _, l := range n.hostDown {
+		d += l.Trims
+	}
+	return d
+}
+
+// LinkUtilization summarizes router-router link usage over the run: the
+// fraction of the run each link spent transmitting, aggregated to mean and
+// max (observability for layer-sweep analyses; Fig 12 discussion).
+func (n *Network) LinkUtilization(elapsed Time) (mean, max float64) {
+	if elapsed <= 0 {
+		return 0, 0
+	}
+	var sum float64
+	count := 0
+	for _, m := range n.routerOut {
+		for _, l := range m {
+			busy := float64(l.TxBytes*8) / l.bps / elapsed.Seconds()
+			sum += busy
+			count++
+			if busy > max {
+				max = busy
+			}
+		}
+	}
+	if count == 0 {
+		return 0, 0
+	}
+	return sum / float64(count), max
+}

@@ -1,0 +1,441 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/layers"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// Transport selects the end-to-end protocol.
+type Transport uint8
+
+// Transports.
+const (
+	// TransportNDP is the purified transport of §III-C: receiver-driven
+	// pulls, first window at line rate, payload trimming instead of drops,
+	// priority for trimmed headers and retransmissions, shallow buffers.
+	TransportNDP Transport = iota
+	// TransportTCP is Reno-style TCP (slow start, fast retransmit, RTO)
+	// with optional ECN response.
+	TransportTCP
+	// TransportDCTCP is TCP with the DCTCP fractional ECN window law.
+	TransportDCTCP
+	// TransportMPTCP stripes each flow over subflows pinned to distinct
+	// layers with LIA-coupled windows and ECN-driven cuts (§VIII-A2).
+	TransportMPTCP
+)
+
+// LoadBalance selects the path-selection policy at senders.
+type LoadBalance uint8
+
+// Load-balancing policies.
+const (
+	// LBECMP hashes each flow once onto minimal paths (static, the
+	// routing-performance lower bound of §VII-A3).
+	LBECMP LoadBalance = iota
+	// LBLetFlow re-hashes onto minimal paths at flowlet boundaries.
+	LBLetFlow
+	// LBFatPaths selects a (possibly non-minimal) layer per flowlet —
+	// FatPaths load balancing (§III-B).
+	LBFatPaths
+	// LBMinimalLayer pins every packet to layer 0 (single shortest path
+	// per pair; isolates the transport from multipathing).
+	LBMinimalLayer
+	// LBPacketSpray re-hashes every packet onto minimal paths
+	// (congestion-oblivious per-packet load balancing, the NDP default).
+	LBPacketSpray
+)
+
+// Config parametrizes a simulation. Zero values are filled by Defaults.
+type Config struct {
+	Transport     Transport
+	LB            LoadBalance
+	LinkBps       float64 // bits per second per link direction
+	LinkDelay     Time    // per-hop fixed delay (§VII-A6 adds 1µs)
+	QueueCap      int     // data queue capacity in packets
+	PrioQueueCap  int
+	ECNThreshold  int  // mark CE at this data-queue depth (0 = off)
+	TrimMode      bool // NDP payload trimming
+	MTU           int32
+	FlowletGap    Time // LetFlow gap (50µs, §VII-A6)
+	InitialWindow int  // NDP initial/line-rate window (8 packets, §VII-A6)
+	RTOMin        Time
+	Seed          int64
+	// SoftwareLatency models endpoint interrupt throttling (100 kHz).
+	SoftwareLatency Time
+}
+
+// NDPDefaults returns the htsim-mode configuration of §VII-A6: 9KB jumbo
+// frames, 8-packet queues and congestion window, trimming, priorities.
+func NDPDefaults() Config {
+	return Config{
+		Transport:       TransportNDP,
+		LB:              LBFatPaths,
+		LinkBps:         10e9,
+		LinkDelay:       1 * Microsecond,
+		QueueCap:        8,
+		PrioQueueCap:    64,
+		TrimMode:        true,
+		MTU:             9000,
+		FlowletGap:      50 * Microsecond,
+		InitialWindow:   8,
+		RTOMin:          200 * Microsecond,
+		SoftwareLatency: 10 * Microsecond,
+	}
+}
+
+// TCPDefaults returns the OMNeT-mode configuration of §VII-A6: 100-packet
+// queues, ECN mark at 33, 1500B frames, no trimming.
+func TCPDefaults(tr Transport) Config {
+	return Config{
+		Transport:       tr,
+		LB:              LBFatPaths,
+		LinkBps:         10e9,
+		LinkDelay:       1 * Microsecond,
+		QueueCap:        100,
+		PrioQueueCap:    256,
+		ECNThreshold:    33,
+		TrimMode:        false,
+		MTU:             1500,
+		FlowletGap:      50 * Microsecond,
+		InitialWindow:   10,
+		RTOMin:          200 * Microsecond,
+		SoftwareLatency: 10 * Microsecond,
+	}
+}
+
+// FlowSpec describes one flow (message) to simulate.
+type FlowSpec struct {
+	Src, Dst int32
+	Bytes    int64
+	Start    Time
+	// Pinned fixes the flow to PinLayer for its whole lifetime (no flowlet
+	// re-selection) — used by the MPTCP-style subflow striping of §VIII-A2,
+	// where each subflow owns one layer.
+	Pinned   bool
+	PinLayer int8
+}
+
+// FlowResult reports a finished (or unfinished) flow.
+type FlowResult struct {
+	FlowSpec
+	Done   bool
+	Finish Time
+	// Retx counts retransmitted packets; TrimsSeen counts trimmed
+	// headers observed by the receiver.
+	Retx      int64
+	TrimsSeen int64
+}
+
+// FCT returns the flow completion time (0 if unfinished).
+func (r FlowResult) FCT() Time {
+	if !r.Done {
+		return 0
+	}
+	return r.Finish - r.Start
+}
+
+// ThroughputMiBs returns per-flow goodput in MiB/s (0 if unfinished).
+func (r FlowResult) ThroughputMiBs() float64 {
+	f := r.FCT()
+	if f <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / f.Seconds() / (1 << 20)
+}
+
+// Sim owns one simulation run.
+type Sim struct {
+	Eng  *Engine
+	Net  *Network
+	Cfg  Config
+	Topo *topo.Topology
+	Fwd  *layers.Forwarding
+
+	rng     *rand.Rand
+	flows   []*flow
+	results []FlowResult
+
+	// lastPull implements per-host pull pacing for NDP receivers.
+	lastPull []Time
+}
+
+// flow carries per-flow transport state (sender + receiver ends).
+type flow struct {
+	id    int32
+	spec  FlowSpec
+	total int32 // packets
+	mss   int32
+
+	// Routing / flowlet state (sender side).
+	layer    int8
+	salt     uint32
+	lastSend Time
+
+	// MPTCP subflows (TransportMPTCP only).
+	mptcp []*mptcpSub
+
+	// Receiver state (shared by transports).
+	received     []bool
+	numReceived  int32
+	done         bool
+	finish       Time
+	trimsSeen    int64
+	cumExpected  int32 // TCP cumulative next-expected seq
+	pendingLayer bool  // NDP: ask sender to change layer on next pull
+
+	// Sender state.
+	snd senderState
+}
+
+// senderState is the union of per-transport sender variables.
+type senderState struct {
+	// Common.
+	nextNew   int32
+	retxCount int64
+
+	// NDP.
+	retxQ     []int32
+	delivered []bool
+	nDeliv    int32
+	inflight  int32
+	lastAct   Time
+	kaNext    int32 // keepalive retransmission rotor
+
+	// TCP.
+	cumAck       int32
+	cwnd         float64
+	ssthresh     float64
+	dupacks      int
+	inRecovery   bool
+	recover      int32
+	rtoGen       int64
+	rto          Time
+	srtt, rttvar Time
+	sendTime     []Time
+	// DCTCP.
+	alpha                      float64
+	ceAcked, totalAcked        int64
+	alphaWindowEnd, lastCutSeq int32
+}
+
+// NewSim builds a simulation over a topology with per-layer forwarding
+// tables. fwd must include at least layer 0 (all links).
+func NewSim(t *topo.Topology, fwd *layers.Forwarding, cfg Config) *Sim {
+	if cfg.LinkBps == 0 {
+		panic("netsim: zero link bandwidth")
+	}
+	eng := NewEngine()
+	net := buildNetwork(eng, t, fwd, cfg)
+	s := &Sim{
+		Eng:      eng,
+		Net:      net,
+		Cfg:      cfg,
+		Topo:     t,
+		Fwd:      fwd,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		lastPull: make([]Time, t.N()),
+	}
+	net.hostRecv = s.hostRecv
+	return s
+}
+
+// AddFlow registers a flow; it will start at spec.Start.
+func (s *Sim) AddFlow(spec FlowSpec) {
+	if spec.Src == spec.Dst {
+		panic("netsim: self flow")
+	}
+	if int(spec.Src) >= s.Topo.N() || int(spec.Dst) >= s.Topo.N() || spec.Src < 0 || spec.Dst < 0 {
+		panic(fmt.Sprintf("netsim: flow endpoints (%d,%d) out of range", spec.Src, spec.Dst))
+	}
+	mss := s.Cfg.MTU - HeaderBytes
+	total := int32((spec.Bytes + int64(mss) - 1) / int64(mss))
+	if total == 0 {
+		total = 1
+	}
+	f := &flow{
+		id:       int32(len(s.flows)),
+		spec:     spec,
+		total:    total,
+		mss:      mss,
+		layer:    s.initialLayer(),
+		salt:     s.rng.Uint32(),
+		received: make([]bool, total),
+	}
+	if spec.Pinned {
+		if int(spec.PinLayer) >= s.Fwd.NumLayers() || spec.PinLayer < 0 {
+			panic(fmt.Sprintf("netsim: pinned layer %d out of range", spec.PinLayer))
+		}
+		f.layer = spec.PinLayer
+	}
+	f.snd.cwnd = float64(s.Cfg.InitialWindow)
+	f.snd.ssthresh = 1 << 20
+	f.snd.rto = 1 * Millisecond
+	f.snd.sendTime = make([]Time, total)
+	if s.Cfg.Transport == TransportNDP {
+		f.snd.delivered = make([]bool, total)
+	}
+	s.flows = append(s.flows, f)
+	s.Eng.At(spec.Start, func() { s.startFlow(f) })
+}
+
+// controlLayer picks the layer for a control packet (ACK/PULL): always the
+// minimal layer — the pull/ACK clock must not ride long paths. Resilience
+// against a failed link black-holing a flow's control channel comes from
+// the sender side instead: the NDP keepalive rotates retransmissions
+// through undelivered sequences on fresh flowlet layers (§V-G), and TCP's
+// timeout path re-randomizes the layer.
+func (s *Sim) controlLayer(from, to int32) int8 {
+	_, _ = from, to
+	return 0
+}
+
+func (s *Sim) initialLayer() int8 {
+	switch s.Cfg.LB {
+	case LBFatPaths, LBMinimalLayer:
+		return 0 // minimal layer by default (§VIII-A1)
+	default:
+		return -1 // ECMP-style minimal hashing
+	}
+}
+
+// pickRoute applies the flowlet policy before transmitting a data packet.
+func (s *Sim) pickRoute(f *flow) {
+	now := s.Eng.Now()
+	if f.spec.Pinned {
+		f.lastSend = now
+		return
+	}
+	newFlowlet := now-f.lastSend > s.Cfg.FlowletGap
+	switch s.Cfg.LB {
+	case LBECMP:
+		// Static per-flow hash: nothing to do.
+	case LBPacketSpray:
+		f.salt = s.rng.Uint32()
+	case LBLetFlow:
+		if newFlowlet {
+			f.salt = s.rng.Uint32()
+		}
+	case LBFatPaths:
+		if newFlowlet {
+			s.reselectLayer(f)
+		}
+	case LBMinimalLayer:
+		f.layer = 0
+	}
+	f.lastSend = now
+}
+
+// reselectLayer picks a layer uniformly at random among layers that reach
+// the destination (§III-B: a random path per flowlet, no probing; flowlet
+// elasticity does the adaptation). Pinned flows never move.
+func (s *Sim) reselectLayer(f *flow) {
+	if f.spec.Pinned {
+		return
+	}
+	n := s.Fwd.NumLayers()
+	if n <= 1 {
+		f.layer = 0
+		return
+	}
+	src := s.Topo.RouterOf(int(f.spec.Src))
+	dst := s.Topo.RouterOf(int(f.spec.Dst))
+	for try := 0; try < 4; try++ {
+		cand := int8(s.rng.Intn(n))
+		if s.Fwd.Reachable(int(cand), src, dst) {
+			f.layer = cand
+			return
+		}
+	}
+	f.layer = 0
+}
+
+func (s *Sim) startFlow(f *flow) {
+	switch s.Cfg.Transport {
+	case TransportNDP:
+		s.ndpStart(f)
+	case TransportMPTCP:
+		s.mptcpStart(f)
+	default:
+		s.tcpStart(f)
+	}
+}
+
+// hostRecv dispatches an arriving packet to the right transport handler.
+func (s *Sim) hostRecv(host int32, p *Packet) {
+	f := s.flows[p.FlowID]
+	switch s.Cfg.Transport {
+	case TransportNDP:
+		s.ndpRecv(f, host, p)
+	case TransportMPTCP:
+		s.mptcpRecv(f, host, p)
+	default:
+		s.tcpRecv(f, host, p)
+	}
+}
+
+// markDone finalizes a flow at the receiver.
+func (s *Sim) markDone(f *flow) {
+	if f.done {
+		return
+	}
+	f.done = true
+	// Software/interrupt latency before the application sees the message.
+	f.finish = s.Eng.Now() + s.Cfg.SoftwareLatency
+}
+
+// Run executes the simulation until the horizon and returns per-flow
+// results.
+func (s *Sim) Run(until Time) []FlowResult {
+	s.Eng.Run(until)
+	s.results = s.results[:0]
+	for _, f := range s.flows {
+		s.results = append(s.results, FlowResult{
+			FlowSpec:  f.spec,
+			Done:      f.done,
+			Finish:    f.finish,
+			Retx:      f.snd.retxCount,
+			TrimsSeen: f.trimsSeen,
+		})
+	}
+	return s.results
+}
+
+// SummarizeThroughput digests completed-flow throughputs (MiB/s).
+func SummarizeThroughput(res []FlowResult) stats.Summary {
+	var sm stats.Sample
+	for _, r := range res {
+		if r.Done {
+			sm.Add(r.ThroughputMiBs())
+		}
+	}
+	return sm.Summarize()
+}
+
+// SummarizeFCT digests completed-flow completion times in milliseconds.
+func SummarizeFCT(res []FlowResult) stats.Summary {
+	var sm stats.Sample
+	for _, r := range res {
+		if r.Done {
+			sm.Add(r.FCT().Seconds() * 1e3)
+		}
+	}
+	return sm.Summarize()
+}
+
+// CompletedFraction reports the share of flows that finished.
+func CompletedFraction(res []FlowResult) float64 {
+	if len(res) == 0 {
+		return 0
+	}
+	done := 0
+	for _, r := range res {
+		if r.Done {
+			done++
+		}
+	}
+	return float64(done) / float64(len(res))
+}

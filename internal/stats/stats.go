@@ -1,0 +1,271 @@
+// Package stats provides the summary statistics used throughout the
+// evaluation harness: means, percentiles, histograms, and distribution
+// summaries matching how the paper reports results (mean, 1% / 10% / 99% /
+// 99.9% tails, fraction-of-pairs histograms).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Sample accumulates float64 observations.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add appends an observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// AddAll appends many observations.
+func (s *Sample) AddAll(xs []float64) {
+	s.xs = append(s.xs, xs...)
+	s.sorted = false
+}
+
+// Len returns the number of observations.
+func (s *Sample) Len() int { return len(s.xs) }
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Min returns the smallest observation (+Inf for empty).
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return math.Inf(1)
+	}
+	s.ensureSorted()
+	return s.xs[0]
+}
+
+// Max returns the largest observation (-Inf for empty).
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return math.Inf(-1)
+	}
+	s.ensureSorted()
+	return s.xs[len(s.xs)-1]
+}
+
+func (s *Sample) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Percentile returns the p-quantile (p in [0,1]) by nearest-rank with
+// linear interpolation. Percentile(0.5) is the median.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	s.ensureSorted()
+	if p <= 0 {
+		return s.xs[0]
+	}
+	if p >= 1 {
+		return s.xs[len(s.xs)-1]
+	}
+	pos := p * float64(len(s.xs)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s.xs) {
+		return s.xs[len(s.xs)-1]
+	}
+	return s.xs[lo]*(1-frac) + s.xs[lo+1]*frac
+}
+
+// Stddev returns the sample standard deviation.
+func (s *Sample) Stddev() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var ss float64
+	for _, x := range s.xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// Summary is the (mean, selected percentiles) digest the paper reports.
+type Summary struct {
+	N                                   int
+	Mean, P01, P10, P50, P90, P99, P999 float64
+}
+
+// Summarize produces the digest.
+func (s *Sample) Summarize() Summary {
+	return Summary{
+		N:    len(s.xs),
+		Mean: s.Mean(),
+		P01:  s.Percentile(0.01),
+		P10:  s.Percentile(0.10),
+		P50:  s.Percentile(0.50),
+		P90:  s.Percentile(0.90),
+		P99:  s.Percentile(0.99),
+		P999: s.Percentile(0.999),
+	}
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g p1=%.4g p10=%.4g p50=%.4g p90=%.4g p99=%.4g p99.9=%.4g",
+		s.N, s.Mean, s.P01, s.P10, s.P50, s.P90, s.P99, s.P999)
+}
+
+// IntHistogram counts integer-valued observations.
+type IntHistogram struct {
+	Counts map[int]int64
+	Total  int64
+}
+
+// NewIntHistogram returns an empty histogram.
+func NewIntHistogram() *IntHistogram {
+	return &IntHistogram{Counts: make(map[int]int64)}
+}
+
+// Add counts one observation of value v.
+func (h *IntHistogram) Add(v int) { h.AddN(v, 1) }
+
+// AddN counts n observations of value v.
+func (h *IntHistogram) AddN(v int, n int64) {
+	h.Counts[v] += n
+	h.Total += n
+}
+
+// Fraction returns the share of observations with value v.
+func (h *IntHistogram) Fraction(v int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Counts[v]) / float64(h.Total)
+}
+
+// FractionAtLeast returns the share of observations with value >= v.
+func (h *IntHistogram) FractionAtLeast(v int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	var c int64
+	for val, n := range h.Counts {
+		if val >= v {
+			c += n
+		}
+	}
+	return float64(c) / float64(h.Total)
+}
+
+// Keys returns the observed values in increasing order.
+func (h *IntHistogram) Keys() []int {
+	keys := make([]int, 0, len(h.Counts))
+	for k := range h.Counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Mean returns the mean observed value.
+func (h *IntHistogram) Mean() float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	var sum float64
+	for v, n := range h.Counts {
+		sum += float64(v) * float64(n)
+	}
+	return sum / float64(h.Total)
+}
+
+func (h *IntHistogram) String() string {
+	var b strings.Builder
+	for _, k := range h.Keys() {
+		fmt.Fprintf(&b, "%d:%d ", k, h.Counts[k])
+	}
+	return strings.TrimSpace(b.String())
+}
+
+// Table is a simple aligned text table used by the experiment harness to
+// print the same rows/series the paper's figures plot.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddRowf appends a row formatting each value with %v (floats with %.4g).
+func (t *Table) AddRowf(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}

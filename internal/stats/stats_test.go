@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleMeanAndPercentiles(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if m := s.Mean(); m != 50.5 {
+		t.Fatalf("mean=%f, want 50.5", m)
+	}
+	if p := s.Percentile(0); p != 1 {
+		t.Fatalf("p0=%f, want 1", p)
+	}
+	if p := s.Percentile(1); p != 100 {
+		t.Fatalf("p100=%f, want 100", p)
+	}
+	if p := s.Percentile(0.5); math.Abs(p-50.5) > 1e-9 {
+		t.Fatalf("median=%f, want 50.5", p)
+	}
+	if s.Min() != 1 || s.Max() != 100 {
+		t.Fatal("min/max wrong")
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+	if !math.IsNaN(s.Percentile(0.5)) {
+		t.Fatal("empty percentile should be NaN")
+	}
+	if !math.IsInf(s.Min(), 1) || !math.IsInf(s.Max(), -1) {
+		t.Fatal("empty min/max should be infinities")
+	}
+}
+
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		var s Sample
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				s.Add(x)
+			}
+		}
+		if s.Len() == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 1.0; p += 0.05 {
+			v := s.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStddev(t *testing.T) {
+	var s Sample
+	s.AddAll([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if sd := s.Stddev(); math.Abs(sd-2.138) > 0.01 {
+		t.Fatalf("stddev=%f, want ≈2.138", sd)
+	}
+	var one Sample
+	one.Add(5)
+	if one.Stddev() != 0 {
+		t.Fatal("single observation stddev should be 0")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var s Sample
+	for i := 0; i < 1000; i++ {
+		s.Add(float64(i))
+	}
+	sum := s.Summarize()
+	if sum.N != 1000 {
+		t.Fatal("wrong N")
+	}
+	if sum.P99 < 980 || sum.P99 > 995 {
+		t.Fatalf("p99=%f", sum.P99)
+	}
+	if !strings.Contains(sum.String(), "n=1000") {
+		t.Fatal("String should include count")
+	}
+}
+
+func TestIntHistogram(t *testing.T) {
+	h := NewIntHistogram()
+	h.Add(1)
+	h.Add(1)
+	h.Add(3)
+	h.AddN(5, 2)
+	if h.Total != 5 {
+		t.Fatalf("total=%d", h.Total)
+	}
+	if h.Fraction(1) != 0.4 {
+		t.Fatalf("fraction(1)=%f", h.Fraction(1))
+	}
+	if h.FractionAtLeast(3) != 0.6 {
+		t.Fatalf("fracAtLeast(3)=%f", h.FractionAtLeast(3))
+	}
+	keys := h.Keys()
+	if len(keys) != 3 || keys[0] != 1 || keys[2] != 5 {
+		t.Fatalf("keys=%v", keys)
+	}
+	if m := h.Mean(); math.Abs(m-3.0) > 1e-9 {
+		t.Fatalf("mean=%f, want 3", m)
+	}
+}
+
+func TestIntHistogramEmpty(t *testing.T) {
+	h := NewIntHistogram()
+	if h.Fraction(0) != 0 || h.FractionAtLeast(0) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram fractions should be 0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "demo", Headers: []string{"name", "value"}}
+	tab.AddRow("alpha", "1")
+	tab.AddRowf("beta", 2.5)
+	out := tab.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "alpha") || !strings.Contains(out, "2.5") {
+		t.Fatalf("table output missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+}

@@ -1,0 +1,163 @@
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Jellyfish (Singla et al., NSDI'12): a random (near-)regular graph built by
+// the incremental construction from the original paper — repeatedly connect
+// random router pairs with free ports; when stuck with free ports left,
+// break a random existing edge (a,b) and rewire it through a router u that
+// still has ≥2 free ports, adding (u,a) and (u,b).
+//
+// If nr·kp is odd, a single port is left unused (one router ends with
+// degree kp-1), matching the "homogeneous" variant's behaviour on
+// infeasible parameter combinations.
+
+// Jellyfish builds a random kp-regular graph on nr routers with p endpoints
+// per router. The construction retries (reseeding deterministically) until
+// the result is connected.
+func Jellyfish(nr, kp, p int, rng *rand.Rand) (*Topology, error) {
+	if nr < 2 || kp < 1 || kp >= nr {
+		return nil, fmt.Errorf("jellyfish: invalid nr=%d kp=%d", nr, kp)
+	}
+	if p <= 0 {
+		return nil, fmt.Errorf("jellyfish: p=%d must be positive", p)
+	}
+	const maxAttempts = 50
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		g, ok := jellyfishAttempt(nr, kp, rng)
+		if !ok || !g.Connected() {
+			continue
+		}
+		conc := make([]int, nr)
+		for i := range conc {
+			conc[i] = p
+		}
+		linkOf := make([]LinkClass, g.M())
+		for i := range linkOf {
+			linkOf[i] = Fiber // random wiring: no locality, all long cables
+		}
+		t := &Topology{
+			Name:         fmt.Sprintf("JF(Nr=%d,k'=%d,p=%d)", nr, kp, p),
+			Kind:         "JF",
+			G:            g,
+			Conc:         conc,
+			LinkOf:       linkOf,
+			Diameter:     -1, // probabilistic; usually <= 3-4
+			NominalRadix: kp,
+		}
+		return t.finish(), nil
+	}
+	return nil, fmt.Errorf("jellyfish: failed to build connected graph after %d attempts", maxAttempts)
+}
+
+func jellyfishAttempt(nr, kp int, rng *rand.Rand) (*graph.Graph, bool) {
+	g := graph.New(nr)
+	free := make([]int, nr)
+	for i := range free {
+		free[i] = kp
+	}
+	// Routers with at least one free port.
+	openSet := make([]int, nr)
+	for i := range openSet {
+		openSet[i] = i
+	}
+	compact := func() {
+		w := 0
+		for _, v := range openSet {
+			if free[v] > 0 {
+				openSet[w] = v
+				w++
+			}
+		}
+		openSet = openSet[:w]
+	}
+	totalFree := nr * kp
+	stuck := 0
+	for totalFree > 1 {
+		compact()
+		if len(openSet) == 0 {
+			break
+		}
+		if len(openSet) == 1 || stuck > 4*nr {
+			// Rewire step from the Jellyfish paper: u has >= 2 free ports;
+			// pick a random edge (a,b) not incident to u, remove it, add
+			// (u,a) and (u,b).
+			u := openSet[0]
+			if free[u] < 2 || g.M() == 0 {
+				break
+			}
+			rewired := false
+			for try := 0; try < 64; try++ {
+				e := g.Edge(rng.Intn(g.M()))
+				a, b := int(e.U), int(e.V)
+				if a == u || b == u || g.HasEdge(u, a) || g.HasEdge(u, b) {
+					continue
+				}
+				// Rebuild without edge (a,b): graph has no edge removal, so
+				// reconstruct. Cheap at these sizes and keeps Graph simple.
+				ng := graph.New(nr)
+				for _, old := range g.Edges() {
+					if (int(old.U) == a && int(old.V) == b) || (int(old.U) == b && int(old.V) == a) {
+						continue
+					}
+					ng.AddEdge(int(old.U), int(old.V))
+				}
+				ng.AddEdge(u, a)
+				ng.AddEdge(u, b)
+				g = ng
+				free[u] -= 2
+				totalFree -= 2
+				rewired = true
+				break
+			}
+			if !rewired {
+				return g, false
+			}
+			stuck = 0
+			continue
+		}
+		i := rng.Intn(len(openSet))
+		j := rng.Intn(len(openSet) - 1)
+		if j >= i {
+			j++
+		}
+		u, v := openSet[i], openSet[j]
+		if g.TryAddEdge(u, v) {
+			free[u]--
+			free[v]--
+			totalFree -= 2
+			stuck = 0
+		} else {
+			stuck++
+		}
+	}
+	return g, true
+}
+
+// EquivalentJellyfish builds the X-JF network of §II-B: a Jellyfish with the
+// same router count, network radix, and concentration as t. For
+// heterogeneous topologies (fat trees) it uses the average router-router
+// degree and average concentration, as the paper does when N/Nr is
+// fractional.
+func EquivalentJellyfish(t *Topology, rng *rand.Rand) (*Topology, error) {
+	nr := t.Nr()
+	kp := int(float64(2*t.G.M())/float64(nr) + 0.5)
+	if kp >= nr {
+		kp = nr - 1
+	}
+	p := int(float64(t.N())/float64(nr) + 0.5)
+	if p < 1 {
+		p = 1
+	}
+	jf, err := Jellyfish(nr, kp, p, rng)
+	if err != nil {
+		return nil, err
+	}
+	jf.Name = t.Name + "-JF"
+	return jf, nil
+}

@@ -1,0 +1,157 @@
+// Package topo builds the interconnection topologies evaluated by the
+// FatPaths paper (Table V): Slim Fly (MMS), balanced Dragonfly, Jellyfish,
+// Xpander, HyperX/Hamming graphs, three-stage fat trees, complete graphs,
+// and star/crossbar baselines — together with endpoint attachment, the
+// "equivalent Jellyfish" construction used for fair comparisons, and the
+// linear cost model behind the paper's Figure 10 and Figure 19 analyses.
+//
+// The network model follows §II-A: an undirected graph over routers; N
+// endpoints attached with concentration p per router; network radix k′
+// (channels to other routers); total radix k = p + k′; diameter D.
+package topo
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// LinkClass distinguishes short (copper) from long (fiber) router-router
+// cables for the cost model of §VII-A2.
+type LinkClass uint8
+
+const (
+	// Copper marks short intra-group/intra-pod cables.
+	Copper LinkClass = iota
+	// Fiber marks long inter-group cables.
+	Fiber
+)
+
+// Topology is a router-level interconnect with endpoint attachment.
+type Topology struct {
+	// Name identifies the topology family and parameters, e.g. "SF(q=19)".
+	Name string
+	// Kind is the family tag ("SF", "DF", "JF", "XP", "HX", "FT3",
+	// "Clique", "Star").
+	Kind string
+	// G is the router graph. Vertices are routers.
+	G *graph.Graph
+	// Conc[r] is the number of endpoints attached to router r (the paper's
+	// concentration p; heterogeneous only for fat trees, where aggregation
+	// and core routers host no endpoints).
+	Conc []int
+	// LinkOf classifies each edge (by edge ID) for the cost model.
+	LinkOf []LinkClass
+	// Diameter is the designed diameter D (verified in tests), or -1 when
+	// only probabilistic bounds exist (Jellyfish).
+	Diameter int
+	// NominalRadix is the network radix k′ of endpoint-hosting routers.
+	NominalRadix int
+
+	offsets []int // prefix sums of Conc; len = Nr+1
+}
+
+// finish computes endpoint offsets and normalizes adjacency order. Every
+// generator must call it before returning.
+func (t *Topology) finish() *Topology {
+	t.G.SortAdjacency()
+	t.offsets = make([]int, t.G.N()+1)
+	for r := 0; r < t.G.N(); r++ {
+		t.offsets[r+1] = t.offsets[r] + t.Conc[r]
+	}
+	if len(t.LinkOf) == 0 {
+		t.LinkOf = make([]LinkClass, t.G.M())
+	}
+	if len(t.LinkOf) != t.G.M() {
+		panic(fmt.Sprintf("topo %s: LinkOf length %d != M %d", t.Name, len(t.LinkOf), t.G.M()))
+	}
+	return t
+}
+
+// Nr returns the number of routers.
+func (t *Topology) Nr() int { return t.G.N() }
+
+// N returns the total number of endpoints.
+func (t *Topology) N() int { return t.offsets[len(t.offsets)-1] }
+
+// RouterOf returns the router hosting endpoint e via binary search over the
+// offset table.
+func (t *Topology) RouterOf(e int) int {
+	lo, hi := 0, t.G.N()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.offsets[mid+1] <= e {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Endpoints returns the half-open endpoint ID range [lo, hi) of router r.
+func (t *Topology) Endpoints(r int) (lo, hi int) {
+	return t.offsets[r], t.offsets[r+1]
+}
+
+// MeanConcentration returns the average endpoints per endpoint-hosting
+// router.
+func (t *Topology) MeanConcentration() float64 {
+	hosts, total := 0, 0
+	for _, p := range t.Conc {
+		if p > 0 {
+			hosts++
+			total += p
+		}
+	}
+	if hosts == 0 {
+		return 0
+	}
+	return float64(total) / float64(hosts)
+}
+
+// EdgeDensity returns (#cables)/(#endpoints) counting both router-router
+// and endpoint cables, the quantity plotted in the paper's Figure 19.
+func (t *Topology) EdgeDensity() float64 {
+	n := t.N()
+	if n == 0 {
+		return 0
+	}
+	return float64(t.G.M()+n) / float64(n)
+}
+
+// TotalRadix returns the maximum total radix k = p + degree over routers.
+func (t *Topology) TotalRadix() int {
+	max := 0
+	for r := 0; r < t.G.N(); r++ {
+		if k := t.Conc[r] + t.G.Degree(r); k > max {
+			max = k
+		}
+	}
+	return max
+}
+
+// Validate performs structural sanity checks shared by all generators.
+func (t *Topology) Validate() error {
+	if t.G.N() == 0 {
+		return fmt.Errorf("%s: no routers", t.Name)
+	}
+	if t.G.N() > 1 && !t.G.Connected() {
+		return fmt.Errorf("%s: disconnected router graph", t.Name)
+	}
+	if len(t.Conc) != t.G.N() {
+		return fmt.Errorf("%s: concentration table size mismatch", t.Name)
+	}
+	for r, p := range t.Conc {
+		if p < 0 {
+			return fmt.Errorf("%s: negative concentration at router %d", t.Name, r)
+		}
+	}
+	if t.N() == 0 {
+		return fmt.Errorf("%s: no endpoints", t.Name)
+	}
+	return nil
+}
+
+// ceilDiv returns ceil(a/b) for positive b.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
