@@ -61,7 +61,8 @@ func BenchmarkFig21NDPLambda(b *testing.B)    { benchExperiment(b, "fig21") }
 func BenchmarkTable4CDPPI(b *testing.B)       { benchExperiment(b, "tab4") }
 func BenchmarkTable5Topologies(b *testing.B)  { benchExperiment(b, "tab5") }
 
-// Ablations called out in DESIGN.md §4.
+// Ablation studies (§III of the paper; see the experiment table in
+// README.md).
 
 func BenchmarkAblationTransport(b *testing.B)         { benchExperiment(b, "abl-transport") }
 func BenchmarkAblationLayerConstruction(b *testing.B) { benchExperiment(b, "abl-construction") }

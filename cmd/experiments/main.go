@@ -6,27 +6,45 @@
 //
 //	go run ./cmd/experiments -list
 //	go run ./cmd/experiments -run fig4
-//	go run ./cmd/experiments -run all -full -seed 7
+//	go run ./cmd/experiments -run all -full -seed 7 -parallel 16
+//	go run ./cmd/experiments -run fig13 -json > fig13.json
 //
 // Quick mode (default) uses small topologies; -full uses the paper's
 // N≈10k class where feasible (expect minutes for the simulation figures).
+// Experiments decompose into independent cells fanned out over -parallel
+// worker goroutines; output is byte-identical for every worker count at a
+// fixed seed.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
 )
 
+// result is the machine-readable form of one experiment table (-json).
+type result struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+	Seconds float64    `json:"seconds"`
+}
+
 func main() {
 	var (
-		run  = flag.String("run", "", "experiment ID to run (or 'all')")
-		list = flag.Bool("list", false, "list available experiments")
-		full = flag.Bool("full", false, "paper-scale runs instead of quick mode")
-		seed = flag.Int64("seed", 42, "random seed")
+		run      = flag.String("run", "", "experiment ID to run (or 'all')")
+		list     = flag.Bool("list", false, "list available experiments")
+		full     = flag.Bool("full", false, "paper-scale runs instead of quick mode")
+		seed     = flag.Int64("seed", 42, "random seed")
+		parallel = flag.Int("parallel", 0, "worker goroutines per experiment (0 = all cores)")
+		jsonOut  = flag.Bool("json", false, "emit a JSON array of tables instead of text")
+		progress = flag.Bool("progress", true, "report per-cell progress on stderr")
 	)
 	flag.Parse()
 
@@ -41,7 +59,6 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Quick: !*full, Seed: *seed}
 	var todo []experiments.Experiment
 	if *run == "all" {
 		todo = experiments.All()
@@ -53,13 +70,43 @@ func main() {
 		}
 		todo = []experiments.Experiment{e}
 	}
+
+	var results []result
 	for _, e := range todo {
+		opts := experiments.Options{Quick: !*full, Seed: *seed, Parallelism: *parallel}
+		if *progress {
+			id := e.ID
+			opts.Progress = func(done, total int) {
+				fmt.Fprintf(os.Stderr, "\r%s: %d/%d cells", id, done, total)
+			}
+		}
 		start := time.Now()
 		tab, err := e.Run(opts)
+		elapsed := time.Since(start).Seconds()
+		if *progress {
+			// Clear the progress line before real output.
+			fmt.Fprintf(os.Stderr, "\r%s\r", strings.Repeat(" ", len(e.ID)+24))
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		fmt.Printf("# %s — %s (%.1fs)\n%s\n", e.ID, e.Title, time.Since(start).Seconds(), tab)
+		if *jsonOut {
+			results = append(results, result{
+				ID: e.ID, Title: e.Title,
+				Headers: tab.Headers, Rows: tab.Rows,
+				Seconds: elapsed,
+			})
+			continue
+		}
+		fmt.Printf("# %s — %s (%.1fs)\n%s\n", e.ID, e.Title, elapsed, tab)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }

@@ -87,6 +87,11 @@ type Fabric struct {
 	Cfg    Config
 	Layers *layers.LayerSet
 	Fwd    *layers.Forwarding
+
+	// routes caches minimal next-hop tables shared by every simulation of
+	// this fabric, including simulations running concurrently on different
+	// worker goroutines.
+	routes *netsim.RouteCache
 }
 
 // Build constructs layers and forwarding tables for a topology.
@@ -126,12 +131,16 @@ func Build(t *topo.Topology, cfg Config) (*Fabric, error) {
 		Cfg:    cfg,
 		Layers: ls,
 		Fwd:    layers.BuildForwarding(ls, rng),
+		routes: netsim.NewRouteCache(t),
 	}, nil
 }
 
-// NewSimulation wires the fabric into a packet-level simulation.
+// NewSimulation wires the fabric into a packet-level simulation. Replicate
+// simulations of one fabric share its route cache, so per-destination ECMP
+// tables are computed once per fabric rather than once per replicate.
+// Simulations are independent and may run concurrently.
 func (f *Fabric) NewSimulation(cfg netsim.Config) *netsim.Sim {
-	return netsim.NewSim(f.Topo, f.Fwd, cfg)
+	return netsim.NewSimShared(f.Topo, f.Fwd, cfg, f.routes)
 }
 
 // RouterRoute returns the router-level path from the router of endpoint

@@ -48,21 +48,32 @@ func runFig4(o Options) (*stats.Table, error) {
 		Title:   "Fig 4: path collisions per router pair (p = k'/D)",
 		Headers: []string{"topology", "pattern", "pairs", "max", "frac>=4", "frac>=9"},
 	}
+	type cell struct {
+		t   *topo.Topology
+		pat traffic.Pattern
+	}
+	var cells []cell
 	for _, t := range tops {
 		n := t.N()
-		patterns := []traffic.Pattern{
+		for _, p := range []traffic.Pattern{
 			traffic.RandomPermutation(rng, n),
 			traffic.RandomizeMapping(traffic.OffDiagonal(n, n/3+1), rng),
 			traffic.RandomizeMapping(traffic.Shuffle(n), rng),
 			traffic.KRandomPermutations(rng, n, 4),
 			traffic.RandomizeMapping(traffic.DefaultStencil(n), rng),
+		} {
+			cells = append(cells, cell{t, p})
 		}
-		for _, p := range patterns {
-			h := diversity.Collisions(t, p)
-			_, max := diversity.CollisionTakeaway(h)
-			tab.AddRowf(t.Kind, p.Name, h.Total, max,
-				fmtPct(h.FractionAtLeast(4)), fmtPct(h.FractionAtLeast(9)))
-		}
+	}
+	if err := runCells(o, tab, len(cells), func(c *Cell) error {
+		cl := cells[c.Index]
+		h := diversity.Collisions(cl.t, cl.pat)
+		_, max := diversity.CollisionTakeaway(h)
+		c.AddRowf(cl.t.Kind, cl.pat.Name, h.Total, max,
+			fmtPct(h.FractionAtLeast(4)), fmtPct(h.FractionAtLeast(9)))
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return tab, nil
 }
@@ -77,22 +88,29 @@ func runFig6(o Options) (*stats.Table, error) {
 		Title:   "Fig 6: shortest path length (lmin) and diversity (cmin) distributions",
 		Headers: []string{"topology", "lmin=1", "lmin=2", "lmin=3", "lmin=4", "cmin=1", "cmin=2", "cmin=3", "cmin>3"},
 	}
-	addRows := func(t *topo.Topology) {
-		samples := pick(o, 400, 2000)
-		mp := diversity.MinimalPaths(t.G, samples, rng)
-		tab.AddRowf(t.Name,
-			fmtPct(mp.LenHist.Fraction(1)), fmtPct(mp.LenHist.Fraction(2)),
-			fmtPct(mp.LenHist.Fraction(3)), fmtPct(mp.LenHist.Fraction(4)),
-			fmtPct(mp.CountHist.Fraction(1)), fmtPct(mp.CountHist.Fraction(2)),
-			fmtPct(mp.CountHist.Fraction(3)), fmtPct(mp.CountHist.Fraction(4)))
-	}
+	// Row order interleaves each base topology with its equivalent
+	// Jellyfish; the JFs are constructed in the serial prologue so every
+	// cell only samples.
+	var tops []*topo.Topology
 	for _, t := range suite.All() {
-		addRows(t)
 		jf, err := topo.EquivalentJellyfish(t, rng)
 		if err != nil {
 			return nil, err
 		}
-		addRows(jf)
+		tops = append(tops, t, jf)
+	}
+	samples := pick(o, 400, 2000)
+	if err := runCells(o, tab, len(tops), func(c *Cell) error {
+		t := tops[c.Index]
+		mp := diversity.MinimalPaths(t.G, samples, c.Rng)
+		c.AddRowf(t.Name,
+			fmtPct(mp.LenHist.Fraction(1)), fmtPct(mp.LenHist.Fraction(2)),
+			fmtPct(mp.LenHist.Fraction(3)), fmtPct(mp.LenHist.Fraction(4)),
+			fmtPct(mp.CountHist.Fraction(1)), fmtPct(mp.CountHist.Fraction(2)),
+			fmtPct(mp.CountHist.Fraction(3)), fmtPct(mp.CountHist.Fraction(4)))
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return tab, nil
 }
@@ -113,8 +131,9 @@ func runFig7(o Options) (*stats.Table, error) {
 		Headers: []string{"topology", "l", "mean", "p1", "p50", "p99"},
 	}
 	samples := pick(o, 150, 600)
-	for _, t := range tops {
-		hists := diversity.CDPDistribution(t.G, []int{2, 3, 4}, samples, rng)
+	if err := runCells(o, tab, len(tops), func(c *Cell) error {
+		t := tops[c.Index]
+		hists := diversity.CDPDistribution(t.G, []int{2, 3, 4}, samples, c.Rng)
 		for _, l := range []int{2, 3, 4} {
 			h := hists[l]
 			var sm stats.Sample
@@ -123,8 +142,11 @@ func runFig7(o Options) (*stats.Table, error) {
 					sm.Add(float64(k))
 				}
 			}
-			tab.AddRowf(t.Name, l, h.Mean(), sm.Percentile(0.01), sm.Percentile(0.5), sm.Percentile(0.99))
+			c.AddRowf(t.Name, l, h.Mean(), sm.Percentile(0.01), sm.Percentile(0.5), sm.Percentile(0.99))
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return tab, nil
 }
@@ -144,17 +166,20 @@ func runFig8(o Options) (*stats.Table, error) {
 		Headers: []string{"topology", "l", "mean", "p99", "p99.9"},
 	}
 	samples := pick(o, 100, 500)
-	for _, t := range tops {
-		for _, l := range []int{2, 3, 4, 5} {
-			pi := diversity.PathInterference(t.G, t.NominalRadix, l, samples, rng)
-			tab.AddRowf(t.Name, l, pi.Raw.Mean(), pi.Raw.Percentile(0.99), pi.Raw.Percentile(0.999))
-		}
+	ls := []int{2, 3, 4, 5}
+	if err := runCells(o, tab, len(tops)*len(ls), func(c *Cell) error {
+		t := tops[c.Index/len(ls)]
+		l := ls[c.Index%len(ls)]
+		pi := diversity.PathInterference(t.G, t.NominalRadix, l, samples, c.Rng)
+		c.AddRowf(t.Name, l, pi.Raw.Mean(), pi.Raw.Percentile(0.99), pi.Raw.Percentile(0.999))
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return tab, nil
 }
 
 func runTable4(o Options) (*stats.Table, error) {
-	rng := graph.NewRand(o.Seed)
 	tab := &stats.Table{
 		Title:   "Table IV: CDP (fraction of k') and PI at distance d'",
 		Headers: []string{"topology", "d'", "k'", "Nr", "N", "CDP mean", "CDP 1%", "PI mean", "PI 99.9%"},
@@ -166,10 +191,11 @@ func runTable4(o Options) (*stats.Table, error) {
 	}
 	samples := pick(o, 120, 400)
 	piSamples := pick(o, 80, 300)
-	for _, c := range configs {
-		t, err := c.Build(rng)
+	if err := runCells(o, tab, len(configs), func(cc *Cell) error {
+		c := configs[cc.Index]
+		t, err := c.Build(cc.Rng)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Sample only endpoint-hosting routers: traffic never originates at
 		// a fat tree's aggregation or core switches, and the paper's FT3
@@ -178,10 +204,13 @@ func runTable4(o Options) (*stats.Table, error) {
 		if len(pool) == t.Nr() {
 			pool = nil
 		}
-		cdp := diversity.CDPAmong(t.G, pool, t.NominalRadix, c.DPrim, samples, rng)
-		pi := diversity.PathInterferenceAmong(t.G, pool, t.NominalRadix, c.DPrim, piSamples, rng)
-		tab.AddRowf(c.Name, c.DPrim, t.NominalRadix, t.Nr(), t.N(),
+		cdp := diversity.CDPAmong(t.G, pool, t.NominalRadix, c.DPrim, samples, cc.Rng)
+		pi := diversity.PathInterferenceAmong(t.G, pool, t.NominalRadix, c.DPrim, piSamples, cc.Rng)
+		cc.AddRowf(c.Name, c.DPrim, t.NominalRadix, t.Nr(), t.N(),
 			fmtPct(cdp.Mean), fmtPct(cdp.Tail1Pct), fmtPct(pi.Mean), fmtPct(pi.Tail999Pct))
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return tab, nil
 }
@@ -215,13 +244,17 @@ func runTable5(o Options) (*stats.Table, error) {
 		return nil, err
 	}
 	all = append(all, cl, jf)
-	for _, t := range all {
+	if err := runCells(o, tab, len(all), func(c *Cell) error {
+		t := all[c.Index]
 		d := t.Diameter
 		if d < 0 {
 			d, _ = t.G.DiameterAndMean()
 		}
-		tab.AddRowf(t.Name, t.Nr(), t.N(), t.NominalRadix,
+		c.AddRowf(t.Name, t.Nr(), t.N(), t.NominalRadix,
 			fmt.Sprintf("%.1f", t.MeanConcentration()), d, t.G.M())
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return tab, nil
 }
@@ -241,33 +274,46 @@ func runFig19(o Options) (*stats.Table, error) {
 		ms = append(ms, 12, 18)
 		ss = append(ss, 8, 11)
 	}
+	type cell struct {
+		kind  string
+		param int
+	}
+	var cells []cell
 	for _, q := range qs {
-		sf, err := topo.SlimFly(q, 0)
-		if err != nil {
-			return nil, err
-		}
-		tab.AddRowf("SF", sf.N(), sf.EdgeDensity(), sf.TotalRadix())
+		cells = append(cells, cell{"SF", q})
 	}
 	for _, p := range dfs {
-		df, err := topo.Dragonfly(p)
-		if err != nil {
-			return nil, err
-		}
-		tab.AddRowf("DF", df.N(), df.EdgeDensity(), df.TotalRadix())
+		cells = append(cells, cell{"DF", p})
 	}
 	for _, m := range ms {
-		ft, err := topo.FatTree3(m, 1)
-		if err != nil {
-			return nil, err
-		}
-		tab.AddRowf("FT", ft.N(), ft.EdgeDensity(), ft.TotalRadix())
+		cells = append(cells, cell{"FT", m})
 	}
 	for _, s := range ss {
-		hx, err := topo.HyperX(3, s, 0)
-		if err != nil {
-			return nil, err
+		cells = append(cells, cell{"HX3", s})
+	}
+	if err := runCells(o, tab, len(cells), func(c *Cell) error {
+		cl := cells[c.Index]
+		var (
+			t   *topo.Topology
+			err error
+		)
+		switch cl.kind {
+		case "SF":
+			t, err = topo.SlimFly(cl.param, 0)
+		case "DF":
+			t, err = topo.Dragonfly(cl.param)
+		case "FT":
+			t, err = topo.FatTree3(cl.param, 1)
+		case "HX3":
+			t, err = topo.HyperX(3, cl.param, 0)
 		}
-		tab.AddRowf("HX3", hx.N(), hx.EdgeDensity(), hx.TotalRadix())
+		if err != nil {
+			return err
+		}
+		c.AddRowf(cl.kind, t.N(), t.EdgeDensity(), t.TotalRadix())
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return tab, nil
 }

@@ -4,21 +4,49 @@
 // paper plots. Runners accept an Options struct controlling scale: Quick
 // mode (the default for `go test`) uses the small size class and reduced
 // sample counts; cmd/experiments can run the paper-scale variants.
+//
+// Every runner decomposes into independent cells — one topology / routing /
+// transport / seed combination each — fanned out over a worker pool
+// (internal/exec) and merged in canonical order. Cells draw all randomness
+// from seeds folded out of (Options.Seed, cell index), so a runner's output
+// is byte-identical for every Parallelism value.
 package experiments
 
 import (
 	"fmt"
+	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 
+	"repro/internal/exec"
+	"repro/internal/graph"
 	"repro/internal/stats"
 )
 
-// Options control experiment scale and determinism.
+// Options control experiment scale, determinism, and execution.
 type Options struct {
 	// Quick selects reduced scale (small topologies, fewer samples).
 	Quick bool
 	// Seed drives all randomness.
 	Seed int64
+	// Parallelism is the number of worker goroutines fanning an
+	// experiment's independent cells out over cores. 0 selects
+	// runtime.GOMAXPROCS(0); 1 runs serially. Output is byte-identical for
+	// every value: cells derive their RNGs from (Seed, cell index) alone
+	// and rows merge in canonical cell order.
+	Parallelism int
+	// Progress, when non-nil, is called after each completed cell with the
+	// number of completed cells and the runner's total. Invocations may
+	// originate from worker goroutines but are serialized.
+	Progress func(done, total int)
+}
+
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Experiment is one reproducible unit: a figure or table of the paper.
@@ -57,6 +85,62 @@ func ids() []string {
 		out = append(out, e.ID)
 	}
 	return out
+}
+
+// Cell is one independent unit of an experiment: it owns a seed folded from
+// (Options.Seed, Index), a private RNG derived from that seed, and a row
+// sink whose rows are appended to the experiment table in cell-index order.
+// A cell must not touch any mutable state shared with other cells.
+type Cell struct {
+	Index int
+	// Seed is exec.FoldSeed(Options.Seed, Index): use it to seed nested
+	// deterministic machinery (simulations, fabrics).
+	Seed int64
+	// Rng is seeded with Seed and private to the cell.
+	Rng *rand.Rand
+
+	tab stats.Table
+}
+
+// AddRowf appends a row to the cell's slice of the experiment table,
+// formatting like stats.Table.AddRowf.
+func (c *Cell) AddRowf(cells ...interface{}) { c.tab.AddRowf(cells...) }
+
+// runCells fans n independent cells out over Options.Parallelism workers
+// and appends each cell's rows to tab in cell order. The first failing
+// cell's error aborts the experiment.
+func runCells(o Options, tab *stats.Table, n int, fn func(c *Cell) error) error {
+	var mu sync.Mutex
+	done := 0
+	rows, err := exec.ParallelMap(o.workers(), n, func(i int) ([][]string, error) {
+		seed := exec.FoldSeed(o.Seed, uint64(i))
+		c := &Cell{Index: i, Seed: seed, Rng: graph.NewRand(seed)}
+		if err := fn(c); err != nil {
+			return nil, fmt.Errorf("cell %d: %w", i, err)
+		}
+		if o.Progress != nil {
+			mu.Lock()
+			done++
+			o.Progress(done, n)
+			mu.Unlock()
+		}
+		return c.tab.Rows, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, rs := range rows {
+		tab.Rows = append(tab.Rows, rs...)
+	}
+	return nil
+}
+
+// sharedSeed derives a seed for a resource shared by several cells of one
+// runner (e.g. the sim seed every series of a sweep compares on). The tag
+// space sits above 1<<32 so it never collides with per-cell seeds, which
+// fold small cell indices.
+func sharedSeed(o Options, tag uint64) int64 {
+	return exec.FoldSeed(o.Seed, (1<<32)+tag)
 }
 
 // fmtPct renders a fraction as a percentage string.

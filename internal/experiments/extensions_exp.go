@@ -33,7 +33,7 @@ func runExtFailures(o Options) (*stats.Table, error) {
 	}
 	flows := pick(o, 60, 200)
 	fractions := []float64{0, 0.02, 0.05, 0.10}
-	for _, series := range []struct {
+	series := []struct {
 		name   string
 		cfgLB  netsim.LoadBalance
 		layers int
@@ -41,26 +41,37 @@ func runExtFailures(o Options) (*stats.Table, error) {
 	}{
 		{"FatPaths(9 layers)", netsim.LBFatPaths, 9, 0.6},
 		{"single minimal path", netsim.LBMinimalLayer, 1, 1.0},
-	} {
-		fab, err := core.Build(sf, core.Config{NumLayers: series.layers, Rho: series.rho, Seed: o.Seed})
+	}
+	fabs := make([]*core.Fabric, len(series))
+	for i, s := range series {
+		fabs[i], err = core.Build(sf, core.Config{NumLayers: s.layers, Rho: s.rho, Seed: o.Seed})
 		if err != nil {
 			return nil, err
 		}
-		for _, frac := range fractions {
-			cfg := netsim.NDPDefaults()
-			cfg.LB = series.cfgLB
-			sim := fab.NewSimulation(cfg)
-			nFail := int(frac * float64(sf.G.M()))
-			sim.Net.FailRandomLinks(nFail, graph.NewRand(o.Seed+int64(nFail)))
-			frng := graph.NewRand(o.Seed)
-			for i := 0; i < flows; i++ {
-				s, d := graph.SampleDistinctPair(frng, sf.N())
-				sim.AddFlow(netsim.FlowSpec{Src: int32(s), Dst: int32(d), Bytes: 64 << 10})
-			}
-			res := sim.Run(3 * netsim.Second)
-			fct := netsim.SummarizeFCT(res)
-			tab.AddRowf(series.name, nFail, fmtPct(netsim.CompletedFraction(res)), fct.Mean, fct.P99)
+	}
+	// Failure counts and flow endpoints derive from o.Seed alone (the same
+	// failed-link set must hit both series), so cells stay comparable at
+	// every parallelism.
+	if err := runCells(o, tab, len(series)*len(fractions), func(c *Cell) error {
+		si := c.Index / len(fractions)
+		frac := fractions[c.Index%len(fractions)]
+		s := series[si]
+		cfg := netsim.NDPDefaults()
+		cfg.LB = s.cfgLB
+		sim := fabs[si].NewSimulation(cfg)
+		nFail := int(frac * float64(sf.G.M()))
+		sim.Net.FailRandomLinks(nFail, graph.NewRand(o.Seed+int64(nFail)))
+		frng := graph.NewRand(o.Seed)
+		for i := 0; i < flows; i++ {
+			src, dst := graph.SampleDistinctPair(frng, sf.N())
+			sim.AddFlow(netsim.FlowSpec{Src: int32(src), Dst: int32(dst), Bytes: 64 << 10})
 		}
+		res := sim.Run(3 * netsim.Second)
+		fct := netsim.SummarizeFCT(res)
+		c.AddRowf(s.name, nFail, fmtPct(netsim.CompletedFraction(res)), fct.Mean, fct.P99)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return tab, nil
 }
@@ -76,38 +87,49 @@ func runExtMPTCP(o Options) (*stats.Table, error) {
 	}
 	pat := traffic.AdversarialOffDiagonal(sf)
 	size := int64(512 << 10)
+	horizon := 10 * netsim.Second
 	tab := &stats.Table{
 		Title:   "MPTCP subflow striping vs flowlet FatPaths (512KiB messages, TCP)",
 		Headers: []string{"series", "mean FCT ms", "p99 ms", "completed"},
 	}
-
-	// Flowlet FatPaths baseline.
-	cfg := netsim.TCPDefaults(netsim.TransportTCP)
-	res := runSeries(fab, cfg, pat, size, 0, 10*netsim.Second, o.Seed)
-	fct := netsim.SummarizeFCT(res)
-	tab.AddRowf("flowlet FatPaths", fct.Mean, fct.P99, fmtPct(netsim.CompletedFraction(res)))
-
-	// Native MPTCP transport (LIA-coupled subflows over pinned layers).
-	mcfg := netsim.TCPDefaults(netsim.TransportMPTCP)
-	mres := runSeries(fab, mcfg, pat, size, 0, 10*netsim.Second, o.Seed)
-	mfct := netsim.SummarizeFCT(mres)
-	tab.AddRowf("MPTCP transport (LIA)", mfct.Mean, mfct.P99, fmtPct(netsim.CompletedFraction(mres)))
-
-	for _, k := range []int{2, 4} {
-		mres, err := fab.RunWorkloadMPTCP(cfg, pat, size, k, 10*netsim.Second, o.Seed)
-		if err != nil {
-			return nil, err
-		}
-		var sm stats.Sample
-		done := 0
-		for _, r := range mres {
-			if r.Done {
-				done++
-				sm.Add(r.FCT.Seconds() * 1e3)
+	// All four series run the identical workload.
+	simSeed := sharedSeed(o, 0)
+	stripeKs := []int{2, 4}
+	if err := runCells(o, tab, 2+len(stripeKs), func(c *Cell) error {
+		switch c.Index {
+		case 0:
+			// Flowlet FatPaths baseline.
+			cfg := netsim.TCPDefaults(netsim.TransportTCP)
+			res := runSeries(fab, cfg, pat, size, 0, horizon, simSeed)
+			fct := netsim.SummarizeFCT(res)
+			c.AddRowf("flowlet FatPaths", fct.Mean, fct.P99, fmtPct(netsim.CompletedFraction(res)))
+		case 1:
+			// Native MPTCP transport (LIA-coupled subflows over pinned layers).
+			mcfg := netsim.TCPDefaults(netsim.TransportMPTCP)
+			mres := runSeries(fab, mcfg, pat, size, 0, horizon, simSeed)
+			mfct := netsim.SummarizeFCT(mres)
+			c.AddRowf("MPTCP transport (LIA)", mfct.Mean, mfct.P99, fmtPct(netsim.CompletedFraction(mres)))
+		default:
+			k := stripeKs[c.Index-2]
+			cfg := netsim.TCPDefaults(netsim.TransportTCP)
+			mres, err := fab.RunWorkloadMPTCP(cfg, pat, size, k, horizon, simSeed)
+			if err != nil {
+				return err
 			}
+			var sm stats.Sample
+			done := 0
+			for _, r := range mres {
+				if r.Done {
+					done++
+					sm.Add(r.FCT.Seconds() * 1e3)
+				}
+			}
+			s := sm.Summarize()
+			c.AddRowf("MPTCP k="+strconv.Itoa(k), s.Mean, s.P99, fmtPct(float64(done)/float64(len(mres))))
 		}
-		s := sm.Summarize()
-		tab.AddRowf("MPTCP k="+strconv.Itoa(k), s.Mean, s.P99, fmtPct(float64(done)/float64(len(mres))))
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return tab, nil
 }
@@ -122,18 +144,28 @@ func runExtTables(o Options) (*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, t := range suite.All() {
+	tops := suite.All()
+	// The final cell is the paper's worked example: SF with N=10830, Nr=722.
+	if err := runCells(o, tab, len(tops)+1, func(c *Cell) error {
+		t := tops[0]
+		name := ""
+		if c.Index < len(tops) {
+			t = tops[c.Index]
+			name = t.Name
+		} else {
+			sf19, err := topo.SlimFly(19, 15)
+			if err != nil {
+				return err
+			}
+			t = sf19
+			name = sf19.Name + " (paper example)"
+		}
 		sz := layers.SizeTables(t, 9)
-		tab.AddRowf(t.Name, t.N(), t.Nr(), sz.Layers, sz.FlatEntries, sz.PrefixEntries,
+		c.AddRowf(name, t.N(), t.Nr(), sz.Layers, sz.FlatEntries, sz.PrefixEntries,
 			sz.Compression, sz.FitsVLANs)
-	}
-	// The paper's worked example: SF with N=10830 has Nr=722.
-	sf19, err := topo.SlimFly(19, 15)
-	if err != nil {
+		return nil
+	}); err != nil {
 		return nil, err
 	}
-	sz := layers.SizeTables(sf19, 9)
-	tab.AddRowf(sf19.Name+" (paper example)", sf19.N(), sf19.Nr(), sz.Layers,
-		sz.FlatEntries, sz.PrefixEntries, sz.Compression, sz.FitsVLANs)
 	return tab, nil
 }

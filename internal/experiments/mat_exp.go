@@ -72,27 +72,31 @@ func runFig9(o Options) (*stats.Table, error) {
 		Title:   "Fig 9: maximum achievable throughput T (worst-case pattern, intensity 0.55, equal layer counts)",
 		Headers: []string{"topology", "N", "FatPaths(minPI)", "FatPaths(random)", "SPAIN", "PAST", "k-shortest"},
 	}
-	for _, t := range tops {
-		pat := traffic.WorstCase(t, 0.55, rng)
-		comms := mcf.CommoditiesFromPattern(t, pat)
+	pats := make([]traffic.Pattern, len(tops))
+	for i, t := range tops {
+		pats[i] = traffic.WorstCase(t, 0.55, rng)
+	}
+	if err := runCells(o, tab, len(tops), func(c *Cell) error {
+		t := tops[c.Index]
+		comms := mcf.CommoditiesFromPattern(t, pats[c.Index])
 		if len(comms) == 0 {
-			continue
+			return nil
 		}
 		minPI, err := matFor(t, core.MinInterference, nLayers, comms, o.Seed, o.Quick)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		random, err := matFor(t, core.RandomSampling, nLayers, comms, o.Seed, o.Quick)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		spain, err := matFor(t, core.SPAINScheme, nLayers, comms, o.Seed, o.Quick)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		past, err := matFor(t, core.PASTScheme, nLayers, comms, o.Seed, o.Quick)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// k-shortest paths: k = number of layers for resource parity.
 		kspPS := mcf.FromKShortest(t.G, comms, nLayers)
@@ -103,9 +107,12 @@ func runFig9(o Options) (*stats.Table, error) {
 			ksp, err = mcf.PathMATApprox(kspPS, 1, 0.10)
 		}
 		if err != nil {
-			return nil, err
+			return err
 		}
-		tab.AddRowf(t.Name, t.N(), minPI, random, spain, past, ksp)
+		c.AddRowf(t.Name, t.N(), minPI, random, spain, past, ksp)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return tab, nil
 }
@@ -125,9 +132,14 @@ func runFig10(o Options) (*stats.Table, error) {
 		Title:   "Fig 10: cost per endpoint (k$), 100GbE model",
 		Headers: []string{"topology", "N", "switches", "endpoint links", "interconnect links", "total"},
 	}
-	for _, t := range append(suite.All(), jf) {
-		c := model.Cost(t)
-		tab.AddRowf(t.Name, t.N(), c.Switches, c.EndpointLinks, c.InterconnLinks, c.Total())
+	all := append(suite.All(), jf)
+	if err := runCells(o, tab, len(all), func(c *Cell) error {
+		t := all[c.Index]
+		cost := model.Cost(t)
+		c.AddRowf(t.Name, t.N(), cost.Switches, cost.EndpointLinks, cost.InterconnLinks, cost.Total())
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return tab, nil
 }

@@ -17,7 +17,13 @@ import (
 // networks), Fig 14 (TCP: FatPaths vs ECMP vs LetFlow), Fig 15 (FCT
 // distribution vs queueing model), Fig 16 (ρ sweep, TCP), Fig 17 (stencil +
 // barrier), Fig 20/21 (λ calibration on crossbar/fat tree), plus the
-// ablation studies called out in DESIGN.md §4.
+// transport/construction/randomization ablations (see README.md's
+// experiment table).
+//
+// Each runner enumerates its independent cells in a serial prologue (the
+// canonical row order) and fans them out via runCells; simulations inside a
+// cell are seeded from the cell, or from a sharedSeed when several cells of
+// a sweep must compare against the identical workload.
 
 func init() {
 	register("fig2", "Throughput/flow vs flow size: low-diameter+FatPaths vs FT+NDP (randomized workload)", runFig2)
@@ -103,6 +109,14 @@ func runFig2(o Options) (*stats.Table, error) {
 		Headers: []string{"topology", "scheme", "flow KiB", "mean", "1% tail", "completed"},
 	}
 	horizon := 8 * netsim.Second
+	type cell struct {
+		scheme string
+		cfg    netsim.Config
+		fab    *core.Fabric
+		pat    traffic.Pattern
+		size   int64
+	}
+	var cells []cell
 	for _, name := range []string{"SF", "XP", "HX", "DF", "FT"} {
 		t := suite[name]
 		scheme := "FatPaths"
@@ -122,10 +136,17 @@ func runFig2(o Options) (*stats.Table, error) {
 		}
 		for _, size := range flowSizes(o) {
 			pat := traffic.RandomizeMapping(traffic.RandomUniform(rng, t.N()), rng)
-			res := runSeries(fab, cfg, pat, size, 300, horizon, o.Seed+size)
-			tp := netsim.SummarizeThroughput(res)
-			tab.AddRowf(t.Name, scheme, size>>10, tp.Mean, tp.P01, fmtPct(netsim.CompletedFraction(res)))
+			cells = append(cells, cell{scheme, cfg, fab, pat, size})
 		}
+	}
+	if err := runCells(o, tab, len(cells), func(c *Cell) error {
+		cl := cells[c.Index]
+		res := runSeries(cl.fab, cl.cfg, cl.pat, cl.size, 300, horizon, c.Seed)
+		tp := netsim.SummarizeThroughput(res)
+		c.AddRowf(cl.fab.Topo.Name, cl.scheme, cl.size>>10, tp.Mean, tp.P01, fmtPct(netsim.CompletedFraction(res)))
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return tab, nil
 }
@@ -141,6 +162,14 @@ func runFig11(o Options) (*stats.Table, error) {
 		Headers: []string{"topology", "scheme", "flow KiB", "mean MiB/s", "1% tail", "completed"},
 	}
 	horizon := 10 * netsim.Second
+	type cell struct {
+		name, scheme string
+		cfg          netsim.Config
+		fab          *core.Fabric
+		pat          traffic.Pattern
+		size         int64
+	}
+	var cells []cell
 	for _, name := range []string{"SF", "XP", "HX", "DF", "FT"} {
 		t := suite[name]
 		pat := traffic.AdversarialOffDiagonal(t)
@@ -157,11 +186,18 @@ func runFig11(o Options) (*stats.Table, error) {
 				return nil, err
 			}
 			for _, size := range flowSizes(o) {
-				res := runSeries(fab, cfg, pat, size, 300, horizon, o.Seed+size)
-				tp := netsim.SummarizeThroughput(res)
-				tab.AddRowf(t.Name, scheme, size>>10, tp.Mean, tp.P01, fmtPct(netsim.CompletedFraction(res)))
+				cells = append(cells, cell{name, scheme, cfg, fab, pat, size})
 			}
 		}
+	}
+	if err := runCells(o, tab, len(cells), func(c *Cell) error {
+		cl := cells[c.Index]
+		res := runSeries(cl.fab, cl.cfg, cl.pat, cl.size, 300, horizon, c.Seed)
+		tp := netsim.SummarizeThroughput(res)
+		c.AddRowf(cl.fab.Topo.Name, cl.scheme, cl.size>>10, tp.Mean, tp.P01, fmtPct(netsim.CompletedFraction(res)))
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return tab, nil
 }
@@ -190,19 +226,37 @@ func runFig12(o Options) (*stats.Table, error) {
 		ns = []int{2, 5, 9, 17, 33}
 	}
 	horizon := 10 * netsim.Second
-	for _, t := range []*topo.Topology{cl, sf, df} {
+	type cell struct {
+		t       *topo.Topology
+		pat     traffic.Pattern
+		n       int
+		rho     float64
+		simSeed int64
+	}
+	var cells []cell
+	for ti, t := range []*topo.Topology{cl, sf, df} {
+		// The whole (n, rho) sweep of one topology compares FCT on the same
+		// workload: pattern and sim seed are shared across its cells.
 		pat := traffic.RandomizeMapping(traffic.RandomPermutation(rng, t.N()), rng)
+		simSeed := sharedSeed(o, uint64(ti))
 		for _, n := range ns {
 			for _, rho := range rhos {
-				fab, err := core.Build(t, core.Config{NumLayers: n, Rho: rho, Seed: o.Seed})
-				if err != nil {
-					return nil, err
-				}
-				res := runSeries(fab, netsim.NDPDefaults(), pat, 1<<20, 300, horizon, o.Seed)
-				fct := netsim.SummarizeFCT(res)
-				tab.AddRowf(t.Kind, n, rho, fct.Mean, fct.P10, fct.P99, fmtPct(netsim.CompletedFraction(res)))
+				cells = append(cells, cell{t, pat, n, rho, simSeed})
 			}
 		}
+	}
+	if err := runCells(o, tab, len(cells), func(c *Cell) error {
+		cl := cells[c.Index]
+		fab, err := core.Build(cl.t, core.Config{NumLayers: cl.n, Rho: cl.rho, Seed: o.Seed})
+		if err != nil {
+			return err
+		}
+		res := runSeries(fab, netsim.NDPDefaults(), cl.pat, 1<<20, 300, horizon, cl.simSeed)
+		fct := netsim.SummarizeFCT(res)
+		c.AddRowf(cl.t.Kind, cl.n, cl.rho, fct.Mean, fct.P10, fct.P99, fmtPct(netsim.CompletedFraction(res)))
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return tab, nil
 }
@@ -227,16 +281,24 @@ func runFig13(o Options) (*stats.Table, error) {
 		Headers: []string{"topology", "N", "mean MiB/s", "FCT p50 ms", "FCT p99 ms", "completed"},
 	}
 	horizon := 10 * netsim.Second
-	for _, t := range []*topo.Topology{sf, sfjf, df} {
+	tops := []*topo.Topology{sf, sfjf, df}
+	pats := make([]traffic.Pattern, len(tops))
+	for i, t := range tops {
+		pats[i] = traffic.RandomizeMapping(traffic.RandomUniform(rng, t.N()), rng)
+	}
+	if err := runCells(o, tab, len(tops), func(c *Cell) error {
+		t := tops[c.Index]
 		fab, err := core.Build(t, core.DefaultConfig(t))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		pat := traffic.RandomizeMapping(traffic.RandomUniform(rng, t.N()), rng)
-		res := runSeries(fab, netsim.NDPDefaults(), pat, 1<<20, 300, horizon, o.Seed)
+		res := runSeries(fab, netsim.NDPDefaults(), pats[c.Index], 1<<20, 300, horizon, c.Seed)
 		tp := netsim.SummarizeThroughput(res)
 		fct := netsim.SummarizeFCT(res)
-		tab.AddRowf(t.Name, t.N(), tp.Mean, fct.P50, fct.P99, fmtPct(netsim.CompletedFraction(res)))
+		c.AddRowf(t.Name, t.N(), tp.Mean, fct.P50, fct.P99, fmtPct(netsim.CompletedFraction(res)))
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return tab, nil
 }
@@ -271,37 +333,43 @@ func runFig14(o Options) (*stats.Table, error) {
 		Headers: []string{"topology", "flow KB", "series", "mean FCT ms", "p99 ms", "speedup mean", "speedup p99"},
 	}
 	horizon := 12 * netsim.Second
-	for _, name := range []string{"DF", "FT", "HX", "JF", "SF", "XP"} {
+	names := []string{"DF", "FT", "HX", "JF", "SF", "XP"}
+	// One cell per (topology, size): the ECMP baseline the speedup columns
+	// divide by lives in the same cell as the series compared against it.
+	if err := runCells(o, tab, len(names)*len(sizes), func(c *Cell) error {
+		name := names[c.Index/len(sizes)]
+		size := sizes[c.Index%len(sizes)]
 		t := suite[name]
 		pat := traffic.AdversarialOffDiagonal(t)
-		for _, size := range sizes {
-			var base stats.Summary
-			for _, s := range tcpSeriesSet() {
-				fab, err := core.Build(t, core.Config{NumLayers: s.layers, Rho: s.rho, Seed: o.Seed})
-				if err != nil {
-					return nil, err
-				}
-				cfg := netsim.TCPDefaults(netsim.TransportTCP)
-				cfg.LB = s.lb
-				// Synchronized starts: at this scaled-down N, Poisson
-				// staggering would dissolve the path collisions the figure
-				// studies (the paper's N≈10k runs have enough concurrent
-				// flows for lambda=200 to keep collisions persistent).
-				res := runSeries(fab, cfg, pat, size, 0, horizon, o.Seed)
-				fct := netsim.SummarizeFCT(res)
-				if s.name == "ECMP" {
-					base = fct
-				}
-				spMean, spTail := 0.0, 0.0
-				if fct.Mean > 0 {
-					spMean = base.Mean / fct.Mean
-				}
-				if fct.P99 > 0 {
-					spTail = base.P99 / fct.P99
-				}
-				tab.AddRowf(name, size/1000, s.name, fct.Mean, fct.P99, spMean, spTail)
+		var base stats.Summary
+		for _, s := range tcpSeriesSet() {
+			fab, err := core.Build(t, core.Config{NumLayers: s.layers, Rho: s.rho, Seed: o.Seed})
+			if err != nil {
+				return err
 			}
+			cfg := netsim.TCPDefaults(netsim.TransportTCP)
+			cfg.LB = s.lb
+			// Synchronized starts: at this scaled-down N, Poisson
+			// staggering would dissolve the path collisions the figure
+			// studies (the paper's N≈10k runs have enough concurrent
+			// flows for lambda=200 to keep collisions persistent).
+			res := runSeries(fab, cfg, pat, size, 0, horizon, c.Seed)
+			fct := netsim.SummarizeFCT(res)
+			if s.name == "ECMP" {
+				base = fct
+			}
+			spMean, spTail := 0.0, 0.0
+			if fct.Mean > 0 {
+				spMean = base.Mean / fct.Mean
+			}
+			if fct.P99 > 0 {
+				spTail = base.P99 / fct.P99
+			}
+			c.AddRowf(name, size/1000, s.name, fct.Mean, fct.P99, spMean, spTail)
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return tab, nil
 }
@@ -319,24 +387,33 @@ func runFig15(o Options) (*stats.Table, error) {
 	lambda := 200.0
 	horizon := 12 * netsim.Second
 	pat := traffic.RandomizeMapping(traffic.RandomPermutation(rng, sf.N()), rng)
-
-	// Simple M/M/1-PS queueing-model prediction at the access link.
-	model := QueueModelSample(graph.NewRand(o.Seed), 4000, 1<<20, 10e9, lambda, 20*netsim.Microsecond)
-	tab.AddRowf("queueing model", model.P10, model.P50, model.P90, model.P99, model.Mean)
-
-	for _, s := range []tcpSeries{
+	// Both simulated series face the identical Poisson arrival process.
+	simSeed := sharedSeed(o, 0)
+	series := []tcpSeries{
 		{"FatPaths(TCP)", netsim.LBFatPaths, 4, 0.6},
 		{"ECMP", netsim.LBECMP, 1, 1},
-	} {
+	}
+	// Cell 0 is the M/M/1-PS queueing-model prediction at the access link;
+	// cells 1.. are the simulated series.
+	if err := runCells(o, tab, 1+len(series), func(c *Cell) error {
+		if c.Index == 0 {
+			model := QueueModelSample(c.Rng, 4000, 1<<20, 10e9, lambda, 20*netsim.Microsecond)
+			c.AddRowf("queueing model", model.P10, model.P50, model.P90, model.P99, model.Mean)
+			return nil
+		}
+		s := series[c.Index-1]
 		fab, err := core.Build(sf, core.Config{NumLayers: s.layers, Rho: s.rho, Seed: o.Seed})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cfg := netsim.TCPDefaults(netsim.TransportTCP)
 		cfg.LB = s.lb
-		res := runSeries(fab, cfg, pat, 1<<20, lambda, horizon, o.Seed)
+		res := runSeries(fab, cfg, pat, 1<<20, lambda, horizon, simSeed)
 		fct := netsim.SummarizeFCT(res)
-		tab.AddRowf(s.name, fct.P10, fct.P50, fct.P90, fct.P99, fct.Mean)
+		c.AddRowf(s.name, fct.P10, fct.P50, fct.P90, fct.P99, fct.Mean)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return tab, nil
 }
@@ -356,19 +433,25 @@ func runFig16(o Options) (*stats.Table, error) {
 		Headers: []string{"topology", "rho", "mean ms", "p10 ms", "p99 ms"},
 	}
 	horizon := 12 * netsim.Second
-	for _, name := range []string{"DF", "JF", "HX", "SF", "XP"} {
+	names := []string{"DF", "JF", "HX", "SF", "XP"}
+	if err := runCells(o, tab, len(names)*len(rhos), func(c *Cell) error {
+		ti := c.Index / len(rhos)
+		name := names[ti]
+		rho := rhos[c.Index%len(rhos)]
 		t := suite[name]
 		pat := traffic.AdversarialOffDiagonal(t)
-		for _, rho := range rhos {
-			fab, err := core.Build(t, core.Config{NumLayers: 4, Rho: rho, Seed: o.Seed})
-			if err != nil {
-				return nil, err
-			}
-			cfg := netsim.TCPDefaults(netsim.TransportTCP)
-			res := runSeries(fab, cfg, pat, 1<<20, 200, horizon, o.Seed)
-			fct := netsim.SummarizeFCT(res)
-			tab.AddRowf(name, rho, fct.Mean, fct.P10, fct.P99)
+		fab, err := core.Build(t, core.Config{NumLayers: 4, Rho: rho, Seed: o.Seed})
+		if err != nil {
+			return err
 		}
+		cfg := netsim.TCPDefaults(netsim.TransportTCP)
+		// The rho sweep of one topology compares against the same workload.
+		res := runSeries(fab, cfg, pat, 1<<20, 200, horizon, sharedSeed(o, uint64(ti)))
+		fct := netsim.SummarizeFCT(res)
+		c.AddRowf(name, rho, fct.Mean, fct.P10, fct.P99)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return tab, nil
 }
@@ -388,29 +471,39 @@ func runFig17(o Options) (*stats.Table, error) {
 		Title:   "Fig 17: stencil+barrier completion time, speedup over ECMP (TCP)",
 		Headers: []string{"topology", "flow KB", "series", "total ms", "speedup"},
 	}
-	for _, name := range []string{"DF", "FT", "HX", "JF", "SF", "XP"} {
+	names := []string{"DF", "FT", "HX", "JF", "SF", "XP"}
+	pats := make([]traffic.Pattern, len(names))
+	for i, name := range names {
+		pats[i] = traffic.RandomizeMapping(traffic.DefaultStencil(suite[name].N()), rng)
+	}
+	// One cell per (topology, size); the series loop stays inside so the
+	// ECMP total the speedups divide by is computed alongside.
+	if err := runCells(o, tab, len(names)*len(sizes), func(c *Cell) error {
+		ti := c.Index / len(sizes)
+		name := names[ti]
+		size := sizes[c.Index%len(sizes)]
 		t := suite[name]
-		pat := traffic.RandomizeMapping(traffic.DefaultStencil(t.N()), rng)
-		for _, size := range sizes {
-			var base netsim.Time
-			for _, s := range tcpSeriesSet() {
-				fab, err := core.Build(t, core.Config{NumLayers: s.layers, Rho: s.rho, Seed: o.Seed})
-				if err != nil {
-					return nil, err
-				}
-				cfg := netsim.TCPDefaults(netsim.TransportTCP)
-				cfg.LB = s.lb
-				total, _ := fab.RunStencilRounds(cfg, pat, size, rounds, 6*netsim.Second, o.Seed)
-				if s.name == "ECMP" {
-					base = total
-				}
-				sp := 0.0
-				if total > 0 {
-					sp = float64(base) / float64(total)
-				}
-				tab.AddRowf(name, size/1000, s.name, total.Seconds()*1e3, sp)
+		var base netsim.Time
+		for _, s := range tcpSeriesSet() {
+			fab, err := core.Build(t, core.Config{NumLayers: s.layers, Rho: s.rho, Seed: o.Seed})
+			if err != nil {
+				return err
 			}
+			cfg := netsim.TCPDefaults(netsim.TransportTCP)
+			cfg.LB = s.lb
+			total, _ := fab.RunStencilRounds(cfg, pats[ti], size, rounds, 6*netsim.Second, c.Seed)
+			if s.name == "ECMP" {
+				base = total
+			}
+			sp := 0.0
+			if total > 0 {
+				sp = float64(base) / float64(total)
+			}
+			c.AddRowf(name, size/1000, s.name, total.Seconds()*1e3, sp)
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return tab, nil
 }
@@ -430,13 +523,20 @@ func runFig20(o Options) (*stats.Table, error) {
 		Headers: []string{"lambda", "p10 ms", "mean ms", "p90 ms", "completed"},
 	}
 	rng := graph.NewRand(o.Seed)
-	for _, lambda := range []float64{100, 250, 500, 800} {
-		pat := traffic.RandomUniform(rng, n)
+	lambdas := []float64{100, 250, 500, 800}
+	pats := make([]traffic.Pattern, len(lambdas))
+	for i := range lambdas {
+		pats[i] = traffic.RandomUniform(rng, n)
+	}
+	if err := runCells(o, tab, len(lambdas), func(c *Cell) error {
 		cfg := netsim.TCPDefaults(netsim.TransportTCP)
 		cfg.LB = netsim.LBMinimalLayer
-		res := runSeries(fab, cfg, pat, 2e6, lambda, 10*netsim.Second, o.Seed)
+		res := runSeries(fab, cfg, pats[c.Index], 2e6, lambdas[c.Index], 10*netsim.Second, c.Seed)
 		fct := netsim.SummarizeFCT(res)
-		tab.AddRowf(lambda, fct.P10, fct.Mean, fct.P90, fmtPct(netsim.CompletedFraction(res)))
+		c.AddRowf(lambdas[c.Index], fct.P10, fct.Mean, fct.P90, fmtPct(netsim.CompletedFraction(res)))
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return tab, nil
 }
@@ -457,19 +557,32 @@ func runFig21(o Options) (*stats.Table, error) {
 		Headers: []string{"topology", "lambda", "FCT p10 ms", "mean ms", "p99 ms", "completed"},
 	}
 	rng := graph.NewRand(o.Seed)
+	lambdas := []float64{100, 300, 500}
+	type cell struct {
+		fab *core.Fabric
+		pat traffic.Pattern
+		l   float64
+	}
+	var cells []cell
 	for _, t := range []*topo.Topology{st, ft} {
 		fab, err := core.Build(t, core.Config{NumLayers: 1, Rho: 1, Seed: o.Seed})
 		if err != nil {
 			return nil, err
 		}
-		for _, lambda := range []float64{100, 300, 500} {
-			pat := traffic.RandomUniform(rng, t.N())
-			cfg := netsim.NDPDefaults()
-			cfg.LB = netsim.LBPacketSpray
-			res := runSeries(fab, cfg, pat, 256<<10, lambda, 10*netsim.Second, o.Seed)
-			fct := netsim.SummarizeFCT(res)
-			tab.AddRowf(t.Kind, lambda, fct.P10, fct.Mean, fct.P99, fmtPct(netsim.CompletedFraction(res)))
+		for _, lambda := range lambdas {
+			cells = append(cells, cell{fab, traffic.RandomUniform(rng, t.N()), lambda})
 		}
+	}
+	if err := runCells(o, tab, len(cells), func(c *Cell) error {
+		cl := cells[c.Index]
+		cfg := netsim.NDPDefaults()
+		cfg.LB = netsim.LBPacketSpray
+		res := runSeries(cl.fab, cfg, cl.pat, 256<<10, cl.l, 10*netsim.Second, c.Seed)
+		fct := netsim.SummarizeFCT(res)
+		c.AddRowf(cl.fab.Topo.Kind, cl.l, fct.P10, fct.Mean, fct.P99, fmtPct(netsim.CompletedFraction(res)))
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return tab, nil
 }
@@ -488,7 +601,9 @@ func runAblTransport(o Options) (*stats.Table, error) {
 		Title:   "Ablation: purified (NDP-style) transport vs TCP tail-drop, identical layers",
 		Headers: []string{"transport", "mean FCT ms", "p99 ms", "drops", "trims"},
 	}
-	for _, mode := range []string{"purified", "tcp"} {
+	modes := []string{"purified", "tcp"}
+	if err := runCells(o, tab, len(modes), func(c *Cell) error {
+		mode := modes[c.Index]
 		var cfg netsim.Config
 		if mode == "purified" {
 			cfg = netsim.NDPDefaults()
@@ -501,7 +616,10 @@ func runAblTransport(o Options) (*stats.Table, error) {
 		}
 		res := sim.Run(10 * netsim.Second)
 		fct := netsim.SummarizeFCT(res)
-		tab.AddRowf(mode, fct.Mean, fct.P99, sim.Net.TotalDrops(), sim.Net.TotalTrims())
+		c.AddRowf(mode, fct.Mean, fct.P99, sim.Net.TotalDrops(), sim.Net.TotalTrims())
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return tab, nil
 }
@@ -517,18 +635,24 @@ func runAblConstruction(o Options) (*stats.Table, error) {
 		Title:   "Ablation: layer construction scheme (MAT on worst-case pattern + sim FCT)",
 		Headers: []string{"scheme", "MAT T", "sim mean FCT ms"},
 	}
-	for _, scheme := range []core.LayerScheme{core.RandomSampling, core.MinInterference} {
+	schemes := []core.LayerScheme{core.RandomSampling, core.MinInterference}
+	simSeed := sharedSeed(o, 0)
+	if err := runCells(o, tab, len(schemes), func(c *Cell) error {
+		scheme := schemes[c.Index]
 		fab, err := core.Build(sf, core.Config{NumLayers: 5, Rho: 0.6, Scheme: scheme, Seed: o.Seed})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		mat, err := fab.MAT(pat, 0.12)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res := runSeries(fab, netsim.NDPDefaults(), pat, 256<<10, 0, 8*netsim.Second, o.Seed)
+		res := runSeries(fab, netsim.NDPDefaults(), pat, 256<<10, 0, 8*netsim.Second, simSeed)
 		fct := netsim.SummarizeFCT(res)
-		tab.AddRowf(scheme.String(), mat, fct.Mean)
+		c.AddRowf(scheme.String(), mat, fct.Mean)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return tab, nil
 }
@@ -549,14 +673,20 @@ func runAblRandomization(o Options) (*stats.Table, error) {
 		Title:   "Ablation: randomized workload mapping (§III-D)",
 		Headers: []string{"mapping", "mean MiB/s", "p99 FCT ms"},
 	}
-	for _, pc := range []struct {
+	pcs := []struct {
 		name string
 		pat  traffic.Pattern
-	}{{"skewed", skewed}, {"randomized", randomized}} {
-		res := runSeries(fab, netsim.NDPDefaults(), pc.pat, 512<<10, 0, 8*netsim.Second, o.Seed)
+	}{{"skewed", skewed}, {"randomized", randomized}}
+	simSeed := sharedSeed(o, 0)
+	if err := runCells(o, tab, len(pcs), func(c *Cell) error {
+		pc := pcs[c.Index]
+		res := runSeries(fab, netsim.NDPDefaults(), pc.pat, 512<<10, 0, 8*netsim.Second, simSeed)
 		tp := netsim.SummarizeThroughput(res)
 		fct := netsim.SummarizeFCT(res)
-		tab.AddRowf(pc.name, tp.Mean, fct.P99)
+		c.AddRowf(pc.name, tp.Mean, fct.P99)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return tab, nil
 }

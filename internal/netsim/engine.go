@@ -7,8 +7,6 @@
 // TCP Reno, and DCTCP.
 package netsim
 
-import "container/heap"
-
 // Time is simulation time in nanoseconds.
 type Time int64
 
@@ -23,29 +21,67 @@ const (
 // Seconds converts a Time to floating-point seconds.
 func (t Time) Seconds() float64 { return float64(t) / 1e9 }
 
+// eventKind discriminates the event payload. The two link events carry
+// their operands inline instead of in a closure: every packet transmission
+// schedules two events per hop, so avoiding those closure allocations is
+// the simulator's single largest allocation saving per replicate.
+type eventKind uint8
+
+const (
+	evFunc    eventKind = iota // generic callback
+	evTxDone                   // link finished serializing pkt; start next, then deliver
+	evDeliver                  // pkt arrives at the far end of link
+)
+
 type event struct {
-	at  Time
-	seq int64
-	fn  func()
+	at   Time
+	seq  int64
+	kind eventKind
+	fn   func()  // evFunc only
+	link *link   // evTxDone, evDeliver
+	pkt  *Packet // evTxDone, evDeliver
 }
 
+// eventHeap is a binary min-heap ordered by (at, seq). The sift operations
+// are hand-rolled rather than going through container/heap: the interface
+// indirection there boxes every pushed event into an allocation, and the
+// event queue is the simulator's hottest data structure.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+func (h eventHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h eventHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		kid := 2*i + 1
+		if kid >= n {
+			return
+		}
+		if r := kid + 1; r < n && h.less(r, kid) {
+			kid = r
+		}
+		if !h.less(kid, i) {
+			return
+		}
+		h[i], h[kid] = h[kid], h[i]
+		i = kid
+	}
 }
 
 // Engine is a deterministic discrete-event scheduler. Events scheduled for
@@ -62,17 +98,31 @@ func NewEngine() *Engine { return &Engine{} }
 // Now returns the current simulation time.
 func (e *Engine) Now() Time { return e.now }
 
-// At schedules fn at absolute time t (>= now).
-func (e *Engine) At(t Time, fn func()) {
+func (e *Engine) push(t Time, ev event) {
 	if t < e.now {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	ev.at, ev.seq = t, e.seq
+	e.events = append(e.events, ev)
+	e.events.siftUp(len(e.events) - 1)
 }
+
+// At schedules fn at absolute time t (>= now).
+func (e *Engine) At(t Time, fn func()) { e.push(t, event{kind: evFunc, fn: fn}) }
 
 // After schedules fn after delay d.
 func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// afterTxDone schedules the end of a packet's serialization on a link.
+func (e *Engine) afterTxDone(d Time, l *link, p *Packet) {
+	e.push(e.now+d, event{kind: evTxDone, link: l, pkt: p})
+}
+
+// afterDeliver schedules a packet's arrival at the far end of a link.
+func (e *Engine) afterDeliver(d Time, l *link, p *Packet) {
+	e.push(e.now+d, event{kind: evDeliver, link: l, pkt: p})
+}
 
 // Run executes events until the queue empties or the horizon passes.
 // It returns the number of events executed.
@@ -82,9 +132,24 @@ func (e *Engine) Run(until Time) int {
 		if e.events[0].at > until {
 			break
 		}
-		ev := heap.Pop(&e.events).(event)
+		ev := e.events[0]
+		last := len(e.events) - 1
+		e.events[0] = e.events[last]
+		e.events[last] = event{} // clear fn/link/pkt for the GC
+		e.events = e.events[:last]
+		e.events.siftDown(0)
 		e.now = ev.at
-		ev.fn()
+		switch ev.kind {
+		case evFunc:
+			ev.fn()
+		case evTxDone:
+			l := ev.link
+			l.busy = false
+			l.kick()
+			e.afterDeliver(l.delay, l, ev.pkt)
+		case evDeliver:
+			ev.link.net.deliver(ev.link, ev.pkt)
+		}
 		n++
 	}
 	if e.now < until && len(e.events) == 0 {

@@ -143,7 +143,8 @@ func (s *Sim) mptcpSendData(f *flow, ms *mptcpSub, seq int32, retx bool) {
 		}
 		size = int32(rem) + HeaderBytes
 	}
-	p := &Packet{
+	p := newPacket()
+	*p = Packet{
 		FlowID:  f.id,
 		SrcHost: f.spec.Src,
 		DstHost: f.spec.Dst,
@@ -195,7 +196,8 @@ func (s *Sim) mptcpDataAtReceiver(f *flow, p *Packet) {
 	for cum < ms.hi && f.received[cum] {
 		cum++
 	}
-	ack := &Packet{
+	ack := newPacket()
+	*ack = Packet{
 		FlowID:  f.id,
 		SrcHost: f.spec.Dst,
 		DstHost: f.spec.Src,

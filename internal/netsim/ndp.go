@@ -42,7 +42,8 @@ func (s *Sim) ndpSendData(f *flow, seq int32, retx bool) {
 		}
 		size = int32(rem) + HeaderBytes
 	}
-	p := &Packet{
+	p := newPacket()
+	*p = Packet{
 		FlowID:  f.id,
 		SrcHost: f.spec.Src,
 		DstHost: f.spec.Dst,
@@ -117,7 +118,8 @@ func (s *Sim) ndpSendPull(f *flow, seq int32, wasTrimmed, layerChange bool) {
 		at = s.lastPull[host] + interval
 	}
 	s.lastPull[host] = at
-	pull := &Packet{
+	pull := newPacket()
+	*pull = Packet{
 		FlowID:  f.id,
 		SrcHost: f.spec.Dst,
 		DstHost: f.spec.Src,

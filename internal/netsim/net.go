@@ -71,10 +71,12 @@ func (l *link) txTime(b int32) Time {
 
 // enqueue places a packet into the transmitter queue, applying the
 // configured congestion behaviour: ECN marking, NDP payload trimming into
-// the priority queue (§III-C), or tail drop.
+// the priority queue (§III-C), or tail drop. Dropped packets return to the
+// shared pool — nothing references them once they leave the queues.
 func (l *link) enqueue(p *Packet) {
 	if l.failed {
 		l.failDrops++
+		freePacket(p)
 		return
 	}
 	if p.prio() {
@@ -83,6 +85,7 @@ func (l *link) enqueue(p *Packet) {
 			l.kick()
 		} else {
 			l.Drops++
+			freePacket(p)
 		}
 		return
 	}
@@ -105,10 +108,12 @@ func (l *link) enqueue(p *Packet) {
 			l.kick()
 		} else {
 			l.Drops++
+			freePacket(p)
 		}
 		return
 	}
 	l.Drops++
+	freePacket(p)
 }
 
 // kick starts transmitting if idle. Priority traffic (control packets,
@@ -130,13 +135,9 @@ func (l *link) kick() {
 	l.busy = true
 	l.TxPackets++
 	l.TxBytes += int64(p.Bytes)
-	tx := l.txTime(p.Bytes)
-	eng := l.net.eng
-	eng.After(tx, func() {
-		l.busy = false
-		l.kick()
-		eng.After(l.delay, func() { l.net.deliver(l, p) })
-	})
+	// Typed event: the engine frees the link, restarts it, and schedules
+	// the delivery — without allocating per-packet closures.
+	l.net.eng.afterTxDone(l.txTime(p.Bytes), l, p)
 }
 
 // queueLen reports the current data-queue occupancy (tests/observability).
@@ -155,10 +156,9 @@ type Network struct {
 	hostUp    []*link // host -> its router
 	hostDown  []*link // router -> host
 
-	// ECMP minimal multi-next-hop tables, built lazily per destination
-	// router: ecmp[dst] is nil until first use; then ecmp[dst][src] lists
-	// the neighbors of src one hop closer to dst.
-	ecmp [][][]int32
+	// routes caches ECMP minimal next-hop tables; shared across every
+	// replicate of the same fabric (see RouteCache).
+	routes *RouteCache
 
 	hostRecv func(host int32, p *Packet)
 
@@ -167,7 +167,7 @@ type Network struct {
 }
 
 // buildNetwork constructs links per the config.
-func buildNetwork(eng *Engine, t *topo.Topology, fwd *layers.Forwarding, cfg Config) *Network {
+func buildNetwork(eng *Engine, t *topo.Topology, fwd *layers.Forwarding, cfg Config, routes *RouteCache) *Network {
 	n := &Network{
 		eng:       eng,
 		topo:      t,
@@ -176,7 +176,7 @@ func buildNetwork(eng *Engine, t *topo.Topology, fwd *layers.Forwarding, cfg Con
 		routerOut: make([]map[int32]*link, t.Nr()),
 		hostUp:    make([]*link, t.N()),
 		hostDown:  make([]*link, t.N()),
-		ecmp:      make([][][]int32, t.Nr()),
+		routes:    routes,
 	}
 	mk := func(toRouter, toHost int32) *link {
 		return &link{
@@ -211,11 +211,14 @@ func (n *Network) sendFromHost(p *Packet) {
 	n.hostUp[p.SrcHost].enqueue(p)
 }
 
-// deliver handles a packet arriving at the receiving end of a link.
+// deliver handles a packet arriving at the receiving end of a link. A
+// packet handed to its destination host is dead once the transport handler
+// returns (no handler retains it) and goes back to the pool.
 func (n *Network) deliver(l *link, p *Packet) {
 	if l.toHost >= 0 {
 		n.DeliveredData++
 		n.hostRecv(l.toHost, p)
+		freePacket(p)
 		return
 	}
 	n.forward(int(l.toRouter), p)
@@ -249,10 +252,7 @@ func (n *Network) forward(r int, p *Packet) {
 // Fowler–Noll–Vo hash, §VII-A6). The flowlet salt changes the hash when a
 // LetFlow sender opens a new flowlet.
 func (n *Network) ecmpNext(r, dstRouter int, p *Packet) int32 {
-	if n.ecmp[dstRouter] == nil {
-		n.buildECMP(dstRouter)
-	}
-	cands := n.ecmp[dstRouter][r]
+	cands := n.routes.minimalTable(dstRouter)[r]
 	if len(cands) == 0 {
 		return -1
 	}
@@ -276,27 +276,6 @@ func (n *Network) ecmpNext(r, dstRouter int, p *Packet) int32 {
 	buf[12] = byte(p.Kind)
 	h.Write(buf[:])
 	return cands[h.Sum32()%uint32(len(cands))]
-}
-
-// buildECMP computes, for one destination router, every router's set of
-// minimal next hops via a reverse BFS.
-func (n *Network) buildECMP(dst int) {
-	g := n.topo.G
-	dist := g.BFS(dst)
-	table := make([][]int32, g.N())
-	for src := 0; src < g.N(); src++ {
-		if src == dst || dist[src] < 0 {
-			continue
-		}
-		var cands []int32
-		for _, h := range g.Neighbors(src) {
-			if dist[h.To] == dist[src]-1 {
-				cands = append(cands, h.To)
-			}
-		}
-		table[src] = cands
-	}
-	n.ecmp[dst] = table
 }
 
 // TotalDrops sums packet drops over all links.

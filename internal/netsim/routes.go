@@ -1,0 +1,82 @@
+package netsim
+
+import (
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/topo"
+)
+
+// RouteCache holds the per-destination minimal (ECMP) next-hop tables for
+// one topology. A table is a pure function of the router graph, so every
+// simulation replicate of the same fabric can share one cache instead of
+// recomputing the reverse BFS per destination per replicate — the dominant
+// setup cost of short simulations. The cache is safe for concurrent use by
+// simulations running on different worker goroutines.
+type RouteCache struct {
+	topo *topo.Topology
+
+	mu   sync.RWMutex
+	ecmp [][][]int32 // [dst][src] -> neighbors of src one hop closer to dst
+}
+
+// NewRouteCache returns an empty cache for a topology. Tables materialize
+// lazily, per destination, on first use.
+func NewRouteCache(t *topo.Topology) *RouteCache {
+	return &RouteCache{topo: t, ecmp: make([][][]int32, t.Nr())}
+}
+
+// minimalTable returns the minimal next-hop table toward dst, building it
+// on first use.
+func (rc *RouteCache) minimalTable(dst int) [][]int32 {
+	rc.mu.RLock()
+	tab := rc.ecmp[dst]
+	rc.mu.RUnlock()
+	if tab != nil {
+		return tab
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.ecmp[dst] == nil {
+		rc.ecmp[dst] = buildECMPTable(rc.topo.G, dst)
+	}
+	return rc.ecmp[dst]
+}
+
+// buildECMPTable computes, for one destination router, every router's set
+// of minimal next hops via a reverse BFS.
+func buildECMPTable(g *graph.Graph, dst int) [][]int32 {
+	dist := g.BFS(dst)
+	table := make([][]int32, g.N())
+	for src := 0; src < g.N(); src++ {
+		if src == dst || dist[src] < 0 {
+			continue
+		}
+		var cands []int32
+		for _, h := range g.Neighbors(src) {
+			if dist[h.To] == dist[src]-1 {
+				cands = append(cands, h.To)
+			}
+		}
+		table[src] = cands
+	}
+	return table
+}
+
+// packetPool recycles Packet structs across all simulations in the
+// process, including successive replicates of the same fabric: a packet is
+// taken at each transmission site and returned when it dies (delivered to
+// its destination host, or dropped at a full queue or failed link).
+var packetPool = sync.Pool{New: func() interface{} { return new(Packet) }}
+
+// newPacket returns a Packet from the pool. Callers overwrite every field
+// (allocation sites assign a full composite literal), so no zeroing happens
+// here.
+func newPacket() *Packet { return packetPool.Get().(*Packet) }
+
+// freePacket returns a dead packet to the pool. The struct is zeroed so a
+// stale field read after free fails loudly rather than plausibly.
+func freePacket(p *Packet) {
+	*p = Packet{}
+	packetPool.Put(p)
+}

@@ -1,0 +1,68 @@
+package netsim
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/layers"
+	"repro/internal/topo"
+)
+
+// TestSharedRouteCacheConcurrent runs replicate simulations of one fabric
+// concurrently against a shared RouteCache and checks each replicate's
+// results match a serial run with the same seed — the property the parallel
+// experiment runtime depends on.
+func TestSharedRouteCacheConcurrent(t *testing.T) {
+	sf, err := topo.SlimFly(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := layers.Random(sf.G, 4, 0.6, graph.NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd := layers.BuildForwarding(ls, graph.NewRand(1))
+
+	runOnce := func(routes *RouteCache, seed int64) []FlowResult {
+		cfg := NDPDefaults()
+		cfg.LB = LBECMP // exercises the shared minimal next-hop tables
+		cfg.Seed = seed
+		sim := NewSimShared(sf, fwd, cfg, routes)
+		rng := graph.NewRand(seed)
+		for i := 0; i < 40; i++ {
+			src, dst := graph.SampleDistinctPair(rng, sf.N())
+			sim.AddFlow(FlowSpec{Src: int32(src), Dst: int32(dst), Bytes: 64 << 10})
+		}
+		return sim.Run(2 * Second)
+	}
+
+	const replicates = 6
+	want := make([][]FlowResult, replicates)
+	for r := 0; r < replicates; r++ {
+		want[r] = runOnce(NewRouteCache(sf), int64(r))
+	}
+
+	shared := NewRouteCache(sf)
+	got := make([][]FlowResult, replicates)
+	var wg sync.WaitGroup
+	for r := 0; r < replicates; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			got[r] = runOnce(shared, int64(r))
+		}(r)
+	}
+	wg.Wait()
+
+	for r := 0; r < replicates; r++ {
+		if len(got[r]) != len(want[r]) {
+			t.Fatalf("replicate %d: %d results, want %d", r, len(got[r]), len(want[r]))
+		}
+		for i := range got[r] {
+			if got[r][i] != want[r][i] {
+				t.Fatalf("replicate %d flow %d: %+v != %+v", r, i, got[r][i], want[r][i])
+			}
+		}
+	}
+}

@@ -223,13 +223,22 @@ type senderState struct {
 }
 
 // NewSim builds a simulation over a topology with per-layer forwarding
-// tables. fwd must include at least layer 0 (all links).
+// tables. fwd must include at least layer 0 (all links). The simulation
+// owns a private RouteCache; replicated runs over one fabric should use
+// NewSimShared to amortize route computation.
 func NewSim(t *topo.Topology, fwd *layers.Forwarding, cfg Config) *Sim {
+	return NewSimShared(t, fwd, cfg, NewRouteCache(t))
+}
+
+// NewSimShared builds a simulation that reuses a RouteCache across
+// replicates of the same fabric. Concurrent simulations may share one
+// cache; the topology and forwarding tables are read-only during a run.
+func NewSimShared(t *topo.Topology, fwd *layers.Forwarding, cfg Config, routes *RouteCache) *Sim {
 	if cfg.LinkBps == 0 {
 		panic("netsim: zero link bandwidth")
 	}
 	eng := NewEngine()
-	net := buildNetwork(eng, t, fwd, cfg)
+	net := buildNetwork(eng, t, fwd, cfg, routes)
 	s := &Sim{
 		Eng:      eng,
 		Net:      net,

@@ -52,7 +52,8 @@ func (s *Sim) tcpSendData(f *flow, seq int32, retx bool) {
 		}
 		size = int32(rem) + HeaderBytes
 	}
-	p := &Packet{
+	p := newPacket()
+	*p = Packet{
 		FlowID:  f.id,
 		SrcHost: f.spec.Src,
 		DstHost: f.spec.Dst,
@@ -100,7 +101,8 @@ func (s *Sim) tcpDataAtReceiver(f *flow, p *Packet) {
 	}
 	// Cumulative ACK; ECN echo reflects the CE mark of this data packet
 	// (per-packet echo, sufficient for the DCTCP estimator).
-	ack := &Packet{
+	ack := newPacket()
+	*ack = Packet{
 		FlowID:  f.id,
 		SrcHost: f.spec.Dst,
 		DstHost: f.spec.Src,

@@ -28,7 +28,7 @@ import (
 // for the paper's default concentration ⌈k′/2⌉.
 func SlimFly(q, p int) (*Topology, error) {
 	if q < 3 || !isPrime(q) {
-		return nil, fmt.Errorf("slimfly: q=%d must be an odd prime (prime-power fields not implemented; see DESIGN.md)", q)
+		return nil, fmt.Errorf("slimfly: q=%d must be an odd prime (prime-power fields not implemented; see README.md's topology notes)", q)
 	}
 	var delta int
 	switch q % 4 {
