@@ -107,22 +107,74 @@ func BenchmarkLayerConstructionMinInterference(b *testing.B) {
 	}
 }
 
-func BenchmarkForwardingTables(b *testing.B) {
+// BenchmarkRoutingBuild measures eager construction of the CSR multi-
+// next-hop tables (internal/routing) for a 9-layer Slim Fly, serially and
+// on all cores — the table-build path every fabric pays once.
+func BenchmarkRoutingBuild(b *testing.B) {
 	sf, err := topo.SlimFly(11, 0)
 	if err != nil {
 		b.Fatal(err)
 	}
-	rng := graph.NewRand(1)
-	ls, err := layers.Random(sf.G, 9, 0.6, rng)
+	ls, err := layers.Random(sf.G, 9, 0.6, graph.NewRand(1))
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		layers.BuildForwarding(ls, rng)
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				f := layers.NewForwarding(ls, 1)
+				f.BuildAll(bc.workers)
+			}
+		})
 	}
 }
+
+// BenchmarkForwardingHotPath measures the layered-forwarding lookups the
+// simulator issues per hop: candidate-set reads and deterministic
+// next-hop picks against fully materialized tables.
+func BenchmarkForwardingHotPath(b *testing.B) {
+	sf, err := topo.SlimFly(11, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ls, err := layers.Random(sf.G, 9, 0.6, graph.NewRand(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := layers.NewForwarding(ls, 1)
+	f.BuildAll(0)
+	nr := sf.Nr()
+	nl := f.NumLayers()
+	b.Run("candidates", func(b *testing.B) {
+		b.ReportAllocs()
+		var sink int
+		for i := 0; i < b.N; i++ {
+			l := i % nl
+			s := (i * 31) % nr
+			d := (i*17 + 1) % nr
+			sink += len(f.Candidates(l, s, d))
+		}
+		benchSink = sink
+	})
+	b.Run("next", func(b *testing.B) {
+		b.ReportAllocs()
+		var sink int32
+		for i := 0; i < b.N; i++ {
+			l := i % nl
+			s := (i * 31) % nr
+			d := (i*17 + 1) % nr
+			sink += f.Next(l, s, d)
+		}
+		benchSink = int(sink)
+	})
+}
+
+// benchSink defeats dead-code elimination in the hot-path benchmarks.
+var benchSink int
 
 func BenchmarkDisjointPathsCDP(b *testing.B) {
 	sf, err := topo.SlimFly(11, 0)

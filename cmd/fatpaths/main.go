@@ -75,10 +75,14 @@ func main() {
 	}
 	st := fab.Diversity(500, *seed)
 	fmt.Printf("\nmean distinct (first-hop, length) routes per router pair: %.2f\n", st.MeanDistinctPaths)
+	fmt.Printf("mean within-layer minimal routes per router pair (all layers): %.2f\n", st.MeanMinimalRoutes)
 
 	sz := layers.SizeTablesFor(t, fab.Layers)
 	fmt.Printf("forwarding state/router: %d prefix entries (flat would need %d, %.1fx more)\n",
 		sz.PrefixEntries, sz.FlatEntries, sz.Compression)
+	dep := layers.SizeDeployedFor(fab.Fwd)
+	fmt.Printf("routing tables materialized: %d/%d (layer,dst) tables, %d CSR candidate entries (dense builder: %d)\n",
+		dep.TablesBuilt, dep.TablesTotal, dep.CandEntries, dep.DenseEntries)
 
 	if *deadlock {
 		fmt.Println("\nchannel-dependency analysis (lossless deployments, §VIII-A6):")

@@ -14,7 +14,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
-	"repro/internal/layers"
 	"repro/internal/netsim"
 	"repro/internal/topo"
 )
@@ -53,12 +52,19 @@ func main() {
 		run("single shortest path", netsim.LBMinimalLayer, core.Config{NumLayers: 1, Rho: 1}, frac)
 	}
 
-	// The §V-G "major update" path: recompute forwarding on survivors.
-	fmt.Println("\nmajor-update repair: recompute layers without the failed links")
-	fab, _ := core.Build(sf, core.DefaultConfig(sf))
+	// The §V-G "major update" path: repair the routing tables without the
+	// failed links. Invalidation is incremental and per destination — a
+	// (layer, destination) table is rebuilt only if a removed edge sat on
+	// one of its minimal paths; every other table is shared as-is.
+	fmt.Println("\nmajor-update repair: recompute routes without the failed links")
+	fab, err := core.Build(sf, core.DefaultConfig(sf))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fab.Fwd.BuildAll(0)
 	failed := []int{0, 1, 2, 3, 4}
-	repaired := fab.Layers.WithoutEdges(failed)
-	fwd := layers.BuildForwarding(repaired, graph.NewRand(2))
+	fwd := fab.Fwd.WithoutEdges(failed)
+	kept := fwd.Engine().Stat()
 	holes := 0
 	for s := 0; s < sf.Nr(); s++ {
 		for d := 0; d < sf.Nr(); d++ {
@@ -67,6 +73,7 @@ func main() {
 			}
 		}
 	}
-	fmt.Printf("after removing %d links and rebuilding tables: %d routing holes in layer 0\n",
-		len(failed), holes)
+	total := kept.TablesTotal
+	fmt.Printf("after removing %d links: %d of %d tables shared unchanged, %d routing holes in layer 0\n",
+		len(failed), kept.TablesBuilt, total, holes)
 }

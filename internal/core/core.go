@@ -81,17 +81,16 @@ func DefaultConfig(t *topo.Topology) Config {
 	return cfg
 }
 
-// Fabric is a topology equipped with FatPaths layered routing.
+// Fabric is a topology equipped with FatPaths layered routing. Fwd is a
+// view over the shared routing engine (internal/routing): tables
+// materialize lazily per destination and are reused by every simulation
+// and analysis of this fabric, including simulations running concurrently
+// on different worker goroutines.
 type Fabric struct {
 	Topo   *topo.Topology
 	Cfg    Config
 	Layers *layers.LayerSet
 	Fwd    *layers.Forwarding
-
-	// routes caches minimal next-hop tables shared by every simulation of
-	// this fabric, including simulations running concurrently on different
-	// worker goroutines.
-	routes *netsim.RouteCache
 }
 
 // Build constructs layers and forwarding tables for a topology.
@@ -130,17 +129,17 @@ func Build(t *topo.Topology, cfg Config) (*Fabric, error) {
 		Topo:   t,
 		Cfg:    cfg,
 		Layers: ls,
-		Fwd:    layers.BuildForwarding(ls, rng),
-		routes: netsim.NewRouteCache(t),
+		Fwd:    layers.NewForwarding(ls, cfg.Seed),
 	}, nil
 }
 
 // NewSimulation wires the fabric into a packet-level simulation. Replicate
-// simulations of one fabric share its route cache, so per-destination ECMP
-// tables are computed once per fabric rather than once per replicate.
-// Simulations are independent and may run concurrently.
+// simulations of one fabric share its routing engine, so per-(layer,
+// destination) multi-next-hop tables are computed once per fabric rather
+// than once per replicate. Simulations are independent and may run
+// concurrently.
 func (f *Fabric) NewSimulation(cfg netsim.Config) *netsim.Sim {
-	return netsim.NewSimShared(f.Topo, f.Fwd, cfg, f.routes)
+	return netsim.NewSim(f.Topo, f.Fwd, cfg)
 }
 
 // RouterRoute returns the router-level path from the router of endpoint

@@ -12,8 +12,8 @@ import (
 func TestParallelSerialEquivalence(t *testing.T) {
 	ids := []string{"fig4", "fig6", "fig10", "fig19", "tab5", "ext-tables"}
 	if !testing.Short() {
-		// Packet-level simulations exercise the shared fabric route cache
-		// and the packet pool under real concurrency.
+		// Packet-level simulations exercise the shared routing engine's
+		// lazily built tables and the packet pool under real concurrency.
 		ids = append(ids, "fig13", "fig20", "abl-randomization")
 	}
 	for _, id := range ids {

@@ -24,9 +24,12 @@ type DeadlockReport struct {
 }
 
 // AnalyzeDeadlock builds the channel dependency graph of one layer's
-// forwarding function over all router pairs and checks it for cycles.
-// Channels are directed router-router links; a dependency (c1 -> c2)
-// exists when some route enters a router over c1 and leaves over c2.
+// routing tables over all router pairs and checks it for cycles. Channels
+// are directed router-router links; a dependency (c1 -> c2) exists when
+// some route enters a router over c1 and leaves over c2. Because the
+// routing core keeps the full within-layer ECMP candidate sets, the CDG
+// covers every minimal route the flowlet balancer may use — not just one
+// frozen representative per pair.
 func AnalyzeDeadlock(f *Forwarding, ls *LayerSet, layer int) DeadlockReport {
 	g := ls.Base
 	nr := g.N()
@@ -44,25 +47,21 @@ func AnalyzeDeadlock(f *Forwarding, ls *LayerSet, layer int) DeadlockReport {
 	used := make(map[int]bool)
 	deps := make(map[int64]bool) // c1*2M + c2
 	m2 := int64(2 * g.M())
-	for src := 0; src < nr; src++ {
-		for dst := 0; dst < nr; dst++ {
-			if src == dst || !f.Reachable(layer, src, dst) {
+	for dst := 0; dst < nr; dst++ {
+		// Walk the minimal-path DAG toward dst: every candidate edge is a
+		// used channel, and each consecutive candidate pair (u -> v -> w)
+		// is a dependency.
+		for src := 0; src < nr; src++ {
+			if src == dst {
 				continue
 			}
-			prev := -1
-			v := src
-			for v != dst {
-				nxt := f.Next(layer, v, dst)
-				if nxt < 0 {
-					break
+			for _, v := range f.Candidates(layer, src, dst) {
+				c1 := chanOf(src, int(v))
+				used[c1] = true
+				for _, w := range f.Candidates(layer, int(v), dst) {
+					c2 := chanOf(int(v), int(w))
+					deps[int64(c1)*m2+int64(c2)] = true
 				}
-				c := chanOf(v, int(nxt))
-				used[c] = true
-				if prev >= 0 {
-					deps[int64(prev)*m2+int64(c)] = true
-				}
-				prev = c
-				v = int(nxt)
 			}
 		}
 	}

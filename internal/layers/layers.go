@@ -11,6 +11,7 @@ import (
 	"math/rand"
 
 	"repro/internal/graph"
+	"repro/internal/routing"
 )
 
 // Layer is one routing layer: a subset of the base graph's links.
@@ -117,113 +118,84 @@ func (ls *LayerSet) WithoutEdges(failed []int) *LayerSet {
 	return out
 }
 
-// Forwarding holds per-layer destination-based next-hop tables, the σ_i
-// functions of §V-A deployed as forwarding tables (Listing 3). An entry of
-// -1 means the destination is unreachable within the layer (possible for
-// sparse SPAIN/min-interference layers); callers fall back to layer 0.
+// Forwarding is the deployed view of the routing core (internal/routing):
+// per-layer destination-based multi-next-hop tables, the σ_i functions of
+// §V-A deployed as forwarding tables (Listing 3). Where the paper's
+// listing freezes one random tie per (layer, src, dst), this view keeps
+// the full within-layer ECMP candidate set (§V-C) and exposes both a
+// deterministic representative hop (Next) and the whole set (Candidates).
+// A Next of -1 means the destination is unreachable within the layer
+// (possible for sparse SPAIN/min-interference layers); callers fall back
+// to layer 0.
 type Forwarding struct {
-	Nr     int
-	tables [][]int32 // tables[layer][dst*Nr+src] = next-hop router or -1
+	Nr  int
+	eng *routing.Engine
 }
 
-// NumLayers returns the number of layers with tables.
-func (f *Forwarding) NumLayers() int { return len(f.tables) }
+// NewForwarding equips a layer set with routing tables. Tables materialize
+// lazily per destination; call BuildAll to precompute everything in
+// parallel. seed drives the deterministic ECMP tie-breaking, so two
+// Forwardings over identical layer sets and seeds are byte-identical
+// regardless of build order or worker count.
+func NewForwarding(ls *LayerSet, seed int64) *Forwarding {
+	masks := make([][]bool, ls.N())
+	for i, l := range ls.Layers {
+		if l.EdgeCount == ls.Base.M() {
+			masks[i] = nil // full layer: let the engine skip mask checks
+			continue
+		}
+		masks[i] = l.Mask
+	}
+	return &Forwarding{Nr: ls.Base.N(), eng: routing.NewEngine(ls.Base, masks, seed)}
+}
 
-// Next returns the next-hop router from src toward dst within the given
-// layer, or -1 if unreachable in that layer.
+// Engine exposes the underlying routing engine (candidate sets, route
+// counts, materialization stats).
+func (f *Forwarding) Engine() *routing.Engine { return f.eng }
+
+// NumLayers returns the number of layers with tables.
+func (f *Forwarding) NumLayers() int { return f.eng.NumLayers() }
+
+// BuildAll eagerly materializes every (layer, destination) table on up to
+// `workers` goroutines (0 = all cores).
+func (f *Forwarding) BuildAll(workers int) { f.eng.BuildAll(workers) }
+
+// Next returns the representative next-hop router from src toward dst
+// within the given layer, or -1 if unreachable in that layer. Ties among
+// ECMP candidates break deterministically by seed folding.
 func (f *Forwarding) Next(layer, src, dst int) int32 {
-	return f.tables[layer][dst*f.Nr+src]
+	return f.eng.Next(layer, src, dst)
+}
+
+// Candidates returns every ECMP next hop from src toward dst within the
+// layer (the set the flowlet balancer hashes over). The slice aliases the
+// table and must not be modified.
+func (f *Forwarding) Candidates(layer, src, dst int) []int32 {
+	return f.eng.Candidates(layer, src, dst)
 }
 
 // Reachable reports whether dst is reachable from src within the layer.
 func (f *Forwarding) Reachable(layer, src, dst int) bool {
-	return src == dst || f.tables[layer][dst*f.Nr+src] >= 0
+	return f.eng.Reachable(layer, src, dst)
 }
 
-// PathLen walks the forwarding function from src to dst within the layer
-// and returns the hop count, or -1 on a routing hole. It also detects
-// loops (which would indicate a table construction bug).
+// PathLen returns the hop count of the layer's minimal route from src to
+// dst, or -1 on a routing hole. Minimal routing makes this the BFS
+// distance, read straight from the table in O(1) instead of walking the
+// forwarding function.
 func (f *Forwarding) PathLen(layer, src, dst int) int {
-	hops := 0
-	v := src
-	for v != dst {
-		nxt := f.Next(layer, v, dst)
-		if nxt < 0 {
-			return -1
-		}
-		v = int(nxt)
-		hops++
-		if hops > f.Nr {
-			return -1 // loop guard; cannot happen with BFS-built tables
-		}
+	if src == dst {
+		return 0
 	}
-	return hops
+	return int(f.eng.Dist(layer, src, dst))
 }
 
-// BuildForwarding populates the forwarding tables of every layer (Listing 3
-// semantics): within each layer, minimum paths between all router pairs;
-// where several first hops tie, one is chosen uniformly at random (§V-C).
-// Complexity is O(n · N_r · (N_r + M)) using one reverse BFS per
-// destination rather than the listing's Floyd–Warshall exposition.
-func BuildForwarding(ls *LayerSet, rng *rand.Rand) *Forwarding {
-	g := ls.Base
-	nr := g.N()
-	f := &Forwarding{Nr: nr}
-	dist := make([]int32, nr)
-	for _, layer := range ls.Layers {
-		table := make([]int32, nr*nr)
-		for i := range table {
-			table[i] = -1
-		}
-		for dst := 0; dst < nr; dst++ {
-			// BFS from dst over layer edges gives dist-to-dst for all
-			// sources (undirected graph: distances are symmetric).
-			for i := range dist {
-				dist[i] = graph.Unreachable
-			}
-			dist[dst] = 0
-			queue := []int32{int32(dst)}
-			for qi := 0; qi < len(queue); qi++ {
-				v := queue[qi]
-				for _, h := range g.Neighbors(int(v)) {
-					if !layer.Mask[h.Edge] {
-						continue
-					}
-					if dist[h.To] == graph.Unreachable {
-						dist[h.To] = dist[v] + 1
-						queue = append(queue, h.To)
-					}
-				}
-			}
-			row := table[dst*nr : (dst+1)*nr]
-			for src := 0; src < nr; src++ {
-				if src == dst || dist[src] == graph.Unreachable {
-					continue
-				}
-				// Choose u.a.r. among neighbors one step closer to dst.
-				count := 0
-				var pick int32 = -1
-				for _, h := range g.Neighbors(src) {
-					if !layer.Mask[h.Edge] {
-						continue
-					}
-					if dist[h.To] == dist[src]-1 {
-						count++
-						if rng == nil {
-							if pick < 0 {
-								pick = h.To
-							}
-						} else if rng.Intn(count) == 0 {
-							pick = h.To
-						}
-					}
-				}
-				row[src] = pick
-			}
-		}
-		f.tables = append(f.tables, table)
-	}
-	return f
+// WithoutEdges returns a repaired view with the given base edges removed
+// from every layer — the §V-G "major topology update" path. Invalidation
+// is incremental and per destination: tables whose minimal-path DAG never
+// used a removed edge are shared with the parent, the rest rebuild lazily.
+func (f *Forwarding) WithoutEdges(failed []int) *Forwarding {
+	return &Forwarding{Nr: f.Nr, eng: f.eng.WithoutEdges(failed)}
 }
 
 // LayerPathLengths returns, for a router pair, the per-layer path length
@@ -232,23 +204,28 @@ func BuildForwarding(ls *LayerSet, rng *rand.Rand) *Forwarding {
 // global paths.
 func (f *Forwarding) LayerPathLengths(src, dst int) []int {
 	out := make([]int, f.NumLayers())
-	for l := range f.tables {
+	for l := range out {
 		out[l] = f.PathLen(l, src, dst)
 	}
 	return out
 }
 
-// Stats summarizes a layer set: edges per layer and the number of distinct
-// next hops the set provides per router pair (a direct path-diversity
-// measure of the deployed configuration).
+// Stats summarizes a layer set: edges per layer and two deployed
+// path-diversity measures read straight from the routing tables.
 type Stats struct {
 	EdgesPerLayer []int
 	// MeanDistinctPaths is the average (over sampled pairs) number of
-	// distinct (first-hop, length) routes across layers.
+	// distinct (first-hop, length) routes across layers, counting every
+	// ECMP candidate — the choices the flowlet balancer actually has.
 	MeanDistinctPaths float64
+	// MeanMinimalRoutes is the average (over sampled pairs) total number
+	// of distinct within-layer minimal routes summed across layers,
+	// computed by DP over the tables' candidate DAGs.
+	MeanMinimalRoutes float64
 }
 
-// Summarize computes layer statistics using sampled router pairs.
+// Summarize computes layer statistics using sampled router pairs. All path
+// statistics come from the shared routing tables (no BFS re-walks).
 func Summarize(ls *LayerSet, f *Forwarding, samples int, rng *rand.Rand) Stats {
 	st := Stats{}
 	for _, l := range ls.Layers {
@@ -257,7 +234,20 @@ func Summarize(ls *LayerSet, f *Forwarding, samples int, rng *rand.Rand) Stats {
 	if samples <= 0 || ls.Base.N() < 2 {
 		return st
 	}
-	total := 0.0
+	totalDistinct := 0.0
+	totalRoutes := 0.0
+	// The route-count DP is per (layer, destination); sampled destinations
+	// repeat, so memoize the whole counts vector rather than re-running it.
+	countMemo := map[[2]int][]int64{}
+	routeCounts := func(l, t int) []int64 {
+		key := [2]int{l, t}
+		if c, ok := countMemo[key]; ok {
+			return c
+		}
+		c := f.eng.RouteCounts(l, t)
+		countMemo[key] = c
+		return c
+	}
 	for i := 0; i < samples; i++ {
 		s, t := graph.SampleDistinctPair(rng, ls.Base.N())
 		type route struct {
@@ -266,14 +256,18 @@ func Summarize(ls *LayerSet, f *Forwarding, samples int, rng *rand.Rand) Stats {
 		}
 		distinct := map[route]bool{}
 		for l := 0; l < f.NumLayers(); l++ {
-			nh := f.Next(l, s, t)
-			if nh < 0 {
+			pl := f.PathLen(l, s, t)
+			if pl < 0 {
 				continue
 			}
-			distinct[route{nh, f.PathLen(l, s, t)}] = true
+			for _, nh := range f.Candidates(l, s, t) {
+				distinct[route{nh, pl}] = true
+			}
+			totalRoutes += float64(routeCounts(l, t)[s])
 		}
-		total += float64(len(distinct))
+		totalDistinct += float64(len(distinct))
 	}
-	st.MeanDistinctPaths = total / float64(samples)
+	st.MeanDistinctPaths = totalDistinct / float64(samples)
+	st.MeanMinimalRoutes = totalRoutes / float64(samples)
 	return st
 }

@@ -67,7 +67,7 @@ func TestForwardingLoopFreeAndComplete(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	f := BuildForwarding(ls, rng)
+	f := NewForwarding(ls, 1)
 	if f.NumLayers() != 4 {
 		t.Fatal("forwarding must cover all layers")
 	}
@@ -94,7 +94,7 @@ func TestForwardingMinimalWithinLayer(t *testing.T) {
 	sf, _ := topo.SlimFly(5, 0)
 	rng := graph.NewRand(4)
 	ls, _ := Random(sf.G, 3, 0.6, rng)
-	f := BuildForwarding(ls, rng)
+	f := NewForwarding(ls, 1)
 	// Within each layer, the forwarding path length equals the BFS
 	// distance in the layer subgraph (minimal routing per layer, §V-B).
 	for layer := 0; layer < ls.N(); layer++ {
@@ -119,7 +119,7 @@ func TestLayerLocalMinimalIsGloballyNonMinimal(t *testing.T) {
 	sf, _ := topo.SlimFly(7, 0)
 	rng := graph.NewRand(5)
 	ls, _ := Random(sf.G, 6, 0.5, rng)
-	f := BuildForwarding(ls, rng)
+	f := NewForwarding(ls, 1)
 	longer := 0
 	pairs := 0
 	for i := 0; i < 300; i++ {
@@ -142,7 +142,7 @@ func TestLayerPathLengthsAndPaths(t *testing.T) {
 	sf, _ := topo.SlimFly(5, 0)
 	rng := graph.NewRand(6)
 	ls, _ := Random(sf.G, 4, 0.7, rng)
-	f := BuildForwarding(ls, rng)
+	f := NewForwarding(ls, 1)
 	s, d := 0, 17
 	lens := f.LayerPathLengths(s, d)
 	paths := LayerPaths(f, s, d)
@@ -187,7 +187,7 @@ func TestMinInterferenceLayers(t *testing.T) {
 	}
 	// Forwarding over these layers must produce some paths one hop above
 	// minimal (the +1 preference).
-	f := BuildForwarding(ls, rng)
+	f := NewForwarding(ls, 1)
 	nonMinimal := 0
 	for i := 0; i < 200; i++ {
 		s, d := graph.SampleDistinctPair(rng, sf.Nr())
@@ -325,8 +325,8 @@ func TestSummarizeDiversityGrowsWithLayers(t *testing.T) {
 	rng := graph.NewRand(11)
 	ls2, _ := Random(sf.G, 2, 0.6, graph.NewRand(42))
 	ls8, _ := Random(sf.G, 8, 0.6, graph.NewRand(42))
-	f2 := BuildForwarding(ls2, graph.NewRand(1))
-	f8 := BuildForwarding(ls8, graph.NewRand(1))
+	f2 := NewForwarding(ls2, 1)
+	f8 := NewForwarding(ls8, 1)
 	s2 := Summarize(ls2, f2, 200, graph.NewRand(2))
 	s8 := Summarize(ls8, f8, 200, graph.NewRand(2))
 	if s8.MeanDistinctPaths <= s2.MeanDistinctPaths {
@@ -336,16 +336,31 @@ func TestSummarizeDiversityGrowsWithLayers(t *testing.T) {
 	_ = rng
 }
 
-func TestForwardingDeterministicWithNilRng(t *testing.T) {
+func TestForwardingDeterministicGivenSeed(t *testing.T) {
+	// Tie-breaking folds the seed with (layer, src, dst) — a pure function,
+	// so two independently constructed views agree everywhere, and every
+	// pick is a member of the candidate set.
 	sf, _ := topo.SlimFly(5, 0)
 	ls, _ := Random(sf.G, 2, 0.8, graph.NewRand(12))
-	f1 := BuildForwarding(ls, nil)
-	f2 := BuildForwarding(ls, nil)
+	f1 := NewForwarding(ls, 0)
+	f2 := NewForwarding(ls, 0)
 	for l := 0; l < f1.NumLayers(); l++ {
 		for s := 0; s < sf.Nr(); s++ {
 			for d := 0; d < sf.Nr(); d++ {
-				if f1.Next(l, s, d) != f2.Next(l, s, d) {
-					t.Fatal("nil-rng forwarding must be deterministic")
+				nh := f1.Next(l, s, d)
+				if nh != f2.Next(l, s, d) {
+					t.Fatal("seeded forwarding must be deterministic")
+				}
+				if s != d && nh >= 0 {
+					found := false
+					for _, c := range f1.Candidates(l, s, d) {
+						if c == nh {
+							found = true
+						}
+					}
+					if !found {
+						t.Fatalf("Next(%d,%d,%d)=%d not among candidates", l, s, d, nh)
+					}
 				}
 			}
 		}
@@ -403,7 +418,7 @@ func TestForwardingLoopFreeProperty(t *testing.T) {
 		if err != nil {
 			return true // sampler could not keep the graph connected; fine
 		}
-		fwd := BuildForwarding(ls, rng)
+		fwd := NewForwarding(ls, 1)
 		for l := 0; l < ls.N(); l++ {
 			sub := g.Subgraph(ls.Layers[l].Mask)
 			for s := 0; s < n; s++ {
@@ -436,7 +451,7 @@ func TestDeadlockAnalysis(t *testing.T) {
 	}
 	rng := graph.NewRand(31)
 	ringLS, _ := Random(ringG, 1, 1.0, rng)
-	ringFwd := BuildForwarding(ringLS, rng)
+	ringFwd := NewForwarding(ringLS, 1)
 	rep := AnalyzeDeadlock(ringFwd, ringLS, 0)
 	if rep.Acyclic {
 		t.Fatal("minimal routing on a ring must have a cyclic CDG")
@@ -447,7 +462,7 @@ func TestDeadlockAnalysis(t *testing.T) {
 	// PAST spanning-tree layers: acyclic CDG.
 	sf, _ := topo.SlimFly(5, 0)
 	past, _ := PAST(sf.G, 3, PASTNonMinimal, rng)
-	pastFwd := BuildForwarding(past, rng)
+	pastFwd := NewForwarding(past, 1)
 	for l := 1; l < past.N(); l++ {
 		if rep := AnalyzeDeadlock(pastFwd, past, l); !rep.Acyclic {
 			t.Fatalf("spanning-tree layer %d must be deadlock-free", l)
@@ -490,8 +505,8 @@ func TestLayerSetSerializationRoundTrip(t *testing.T) {
 	}
 	// Forwarding built from the round-tripped set is identical given the
 	// same rng.
-	f1 := BuildForwarding(ls, graph.NewRand(5))
-	f2 := BuildForwarding(got, graph.NewRand(5))
+	f1 := NewForwarding(ls, 5)
+	f2 := NewForwarding(got, 5)
 	for l := 0; l < ls.N(); l++ {
 		for s := 0; s < sf.Nr(); s += 7 {
 			for d := 0; d < sf.Nr(); d += 3 {
@@ -500,6 +515,69 @@ func TestLayerSetSerializationRoundTrip(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+func TestLayerSetSerializationRoundTripRepaired(t *testing.T) {
+	// The §V-G major-update artifact: a repaired (post-WithoutEdges) layer
+	// set survives the JSON round trip with its "+repaired" scheme tag and
+	// exact masks, and routing built from the round-tripped set matches.
+	sf, _ := topo.SlimFly(5, 0)
+	ls, err := Random(sf.G, 3, 0.7, graph.NewRand(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := []int{0, 3, 9}
+	repaired := ls.WithoutEdges(failed)
+	if repaired.Scheme != "random+repaired" {
+		t.Fatalf("scheme %q, want random+repaired", repaired.Scheme)
+	}
+	var buf bytes.Buffer
+	if err := repaired.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLayerSet(bytes.NewReader(buf.Bytes()), sf.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scheme != "random+repaired" || got.N() != repaired.N() {
+		t.Fatalf("round trip lost metadata: %q, %d layers", got.Scheme, got.N())
+	}
+	for i := range repaired.Layers {
+		if got.Layers[i].EdgeCount != repaired.Layers[i].EdgeCount {
+			t.Fatalf("layer %d edge count %d != %d", i, got.Layers[i].EdgeCount, repaired.Layers[i].EdgeCount)
+		}
+		for id := range repaired.Layers[i].Mask {
+			if got.Layers[i].Mask[id] != repaired.Layers[i].Mask[id] {
+				t.Fatalf("layer %d mask differs at edge %d", i, id)
+			}
+		}
+		for _, id := range failed {
+			if got.Layers[i].Mask[id] {
+				t.Fatalf("layer %d still contains failed edge %d after round trip", i, id)
+			}
+		}
+	}
+	f1 := NewForwarding(repaired, 6)
+	f2 := NewForwarding(got, 6)
+	for l := 0; l < repaired.N(); l++ {
+		for s := 0; s < sf.Nr(); s += 7 {
+			for d := 0; d < sf.Nr(); d += 3 {
+				if f1.Next(l, s, d) != f2.Next(l, s, d) {
+					t.Fatal("routing differs after repaired round trip")
+				}
+			}
+		}
+	}
+	// The vertex/edge-count mismatch error path: a repaired configuration
+	// is still for the ORIGINAL base graph (masks shrink, the graph does
+	// not), so loading it against a different graph must fail with the
+	// count mismatch error.
+	other, _ := topo.SlimFly(7, 0)
+	if _, err := ReadLayerSet(bytes.NewReader(buf.Bytes()), other.G); err == nil {
+		t.Fatal("repaired set must be rejected against a mismatched base graph")
+	} else if !strings.Contains(err.Error(), "graph") {
+		t.Fatalf("unexpected error %v", err)
 	}
 }
 

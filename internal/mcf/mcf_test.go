@@ -159,7 +159,7 @@ func TestPathMATApproxOnLayeredSlimFly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	f := layers.BuildForwarding(ls, rng)
+	f := layers.NewForwarding(ls, 1)
 	pat := traffic.WorstCase(sf, 0.3, rng)
 	comms := CommoditiesFromPattern(sf, pat)
 	if len(comms) == 0 {
@@ -175,7 +175,7 @@ func TestPathMATApproxOnLayeredSlimFly(t *testing.T) {
 	}
 	// More layers should never hurt (weakly more path choice).
 	ls1, _ := layers.Random(sf.G, 1, 0.6, graph.NewRand(1))
-	f1 := layers.BuildForwarding(ls1, graph.NewRand(1))
+	f1 := layers.NewForwarding(ls1, 1)
 	ps1 := FromForwarding(sf.G, f1, comms)
 	got1, err := PathMATApprox(ps1, 1, 0.1)
 	if err != nil {

@@ -11,8 +11,8 @@ import (
 // balancer simply stops using layers whose paths die — the purified
 // transport's trims/timeouts (or TCP's RTO) force a flowlet boundary and
 // the sender re-randomizes onto a surviving layer. For major topology
-// updates layers are recomputed (see layers.BuildForwarding on a masked
-// graph).
+// updates routes are recomputed incrementally, per destination
+// (layers.Forwarding.WithoutEdges).
 //
 // A failed link drops every packet handed to it (both directions), exactly
 // like a dead cable between two healthy routers.
@@ -69,8 +69,9 @@ func (n *Network) HealAllLinks() {
 }
 
 // MaskedForwardingInput returns an edge mask with the given edges removed,
-// for recomputing layers after a major topology update (§V-G: "for major
-// (infrequent) topology updates, we recompute layers").
+// for checking or recomputing routes after a major topology update (§V-G:
+// "for major (infrequent) topology updates, we recompute layers"; the
+// repair itself is layers.Forwarding.WithoutEdges).
 func MaskedForwardingInput(g *graph.Graph, failedEdges []int) []bool {
 	mask := make([]bool, g.M())
 	for i := range mask {

@@ -89,7 +89,8 @@ func TestLayerRecomputationAfterFailure(t *testing.T) {
 	if repaired.Layers[0].EdgeCount != sf.G.M()-3 {
 		t.Fatalf("repaired full layer has %d edges, want %d", repaired.Layers[0].EdgeCount, sf.G.M()-3)
 	}
-	fwd := layers.BuildForwarding(repaired, rng)
+	// Incremental per-destination repair of the routing tables.
+	fwd := layers.NewForwarding(ls, 5).WithoutEdges(failed)
 	// Layer 0 on the residual graph still routes everything (SF survives
 	// three link failures easily).
 	for s := 0; s < sf.Nr(); s += 5 {
@@ -99,20 +100,21 @@ func TestLayerRecomputationAfterFailure(t *testing.T) {
 			}
 		}
 	}
-	// And the repaired tables never route over a failed edge.
+	// And the repaired tables never offer a failed edge as a candidate in
+	// any layer.
 	mask := MaskedForwardingInput(sf.G, failed)
-	for s := 0; s < sf.Nr(); s++ {
-		for d := 0; d < sf.Nr(); d++ {
-			if s == d {
-				continue
-			}
-			nh := fwd.Next(0, s, d)
-			if nh < 0 {
-				continue
-			}
-			id := sf.G.EdgeBetween(s, int(nh))
-			if !mask[id] {
-				t.Fatalf("repaired table routes %d->%d over failed edge %d", s, d, id)
+	for l := 0; l < fwd.NumLayers(); l++ {
+		for s := 0; s < sf.Nr(); s++ {
+			for d := 0; d < sf.Nr(); d++ {
+				if s == d {
+					continue
+				}
+				for _, nh := range fwd.Candidates(l, s, d) {
+					id := sf.G.EdgeBetween(s, int(nh))
+					if !mask[id] {
+						t.Fatalf("repaired layer %d routes %d->%d over failed edge %d", l, s, d, id)
+					}
+				}
 			}
 		}
 	}

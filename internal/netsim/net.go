@@ -2,7 +2,6 @@ package netsim
 
 import (
 	"fmt"
-	"hash/fnv"
 
 	"repro/internal/layers"
 	"repro/internal/topo"
@@ -156,10 +155,6 @@ type Network struct {
 	hostUp    []*link // host -> its router
 	hostDown  []*link // router -> host
 
-	// routes caches ECMP minimal next-hop tables; shared across every
-	// replicate of the same fabric (see RouteCache).
-	routes *RouteCache
-
 	hostRecv func(host int32, p *Packet)
 
 	// Stats.
@@ -167,7 +162,7 @@ type Network struct {
 }
 
 // buildNetwork constructs links per the config.
-func buildNetwork(eng *Engine, t *topo.Topology, fwd *layers.Forwarding, cfg Config, routes *RouteCache) *Network {
+func buildNetwork(eng *Engine, t *topo.Topology, fwd *layers.Forwarding, cfg Config) *Network {
 	n := &Network{
 		eng:       eng,
 		topo:      t,
@@ -176,7 +171,6 @@ func buildNetwork(eng *Engine, t *topo.Topology, fwd *layers.Forwarding, cfg Con
 		routerOut: make([]map[int32]*link, t.Nr()),
 		hostUp:    make([]*link, t.N()),
 		hostDown:  make([]*link, t.N()),
-		routes:    routes,
 	}
 	mk := func(toRouter, toHost int32) *link {
 		return &link{
@@ -224,7 +218,12 @@ func (n *Network) deliver(l *link, p *Packet) {
 	n.forward(int(l.toRouter), p)
 }
 
-// forward routes a packet at a router.
+// forward routes a packet at a router: it hashes the packet onto the
+// layer's real ECMP candidate set (§V-C) read from the shared routing
+// tables. A layer of -1 (ECMP/LetFlow/spray senders) means minimal
+// routing over the full topology, which is exactly layer 0. Packets of
+// one flowlet keep a consistent hop at every router; a new flowlet's
+// fresh salt re-hashes the whole path.
 func (n *Network) forward(r int, p *Packet) {
 	dstRouter := n.topo.RouterOf(int(p.DstHost))
 	if r == dstRouter {
@@ -232,50 +231,28 @@ func (n *Network) forward(r int, p *Packet) {
 		return
 	}
 	p.Hops++
-	var next int32 = -1
-	if p.Layer >= 0 {
-		next = n.fwd.Next(int(p.Layer), r, dstRouter)
-		if next < 0 {
-			// Routing hole in a sparse layer: fall back to the full layer.
-			next = n.fwd.Next(0, r, dstRouter)
-		}
-	} else {
-		next = n.ecmpNext(r, dstRouter, p)
+	layer := int(p.Layer)
+	if layer < 0 {
+		layer = 0
 	}
-	if next < 0 {
+	cands := n.fwd.Candidates(layer, r, dstRouter)
+	if len(cands) == 0 && layer != 0 {
+		// Routing hole in a sparse layer: fall back to the full layer.
+		layer = 0
+		cands = n.fwd.Candidates(0, r, dstRouter)
+	}
+	if len(cands) == 0 {
 		panic(fmt.Sprintf("netsim: no route from router %d to router %d", r, dstRouter))
 	}
+	var next int32
+	if n.cfg.LB == LBMinimalLayer {
+		// The single-shortest-path baseline must not spread flows over
+		// ties: every pair rides the frozen representative hop.
+		next = n.fwd.Next(layer, r, dstRouter)
+	} else {
+		next = hashNext(cands, r, p)
+	}
 	n.routerOut[r][next].enqueue(p)
-}
-
-// ecmpNext picks a minimal next hop by flow hash (flow-based ECMP with the
-// Fowler–Noll–Vo hash, §VII-A6). The flowlet salt changes the hash when a
-// LetFlow sender opens a new flowlet.
-func (n *Network) ecmpNext(r, dstRouter int, p *Packet) int32 {
-	cands := n.routes.minimalTable(dstRouter)[r]
-	if len(cands) == 0 {
-		return -1
-	}
-	if len(cands) == 1 {
-		return cands[0]
-	}
-	h := fnv.New32a()
-	var buf [13]byte
-	buf[0] = byte(p.FlowID)
-	buf[1] = byte(p.FlowID >> 8)
-	buf[2] = byte(p.FlowID >> 16)
-	buf[3] = byte(p.FlowID >> 24)
-	buf[4] = byte(p.Salt)
-	buf[5] = byte(p.Salt >> 8)
-	buf[6] = byte(p.Salt >> 16)
-	buf[7] = byte(p.Salt >> 24)
-	buf[8] = byte(r)
-	buf[9] = byte(r >> 8)
-	buf[10] = byte(r >> 16)
-	buf[11] = byte(r >> 24)
-	buf[12] = byte(p.Kind)
-	h.Write(buf[:])
-	return cands[h.Sum32()%uint32(len(cands))]
 }
 
 // TotalDrops sums packet drops over all links.

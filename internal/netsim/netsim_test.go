@@ -51,7 +51,7 @@ func starSim(t *testing.T, n int, cfg Config) *Sim {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fwd := layers.BuildForwarding(ls, nil)
+	fwd := layers.NewForwarding(ls, 0)
 	return NewSim(st, fwd, cfg)
 }
 
@@ -164,7 +164,7 @@ func sfSim(t *testing.T, q, nLayers int, rho float64, cfg Config, seed int64) (*
 	if err != nil {
 		t.Fatal(err)
 	}
-	fwd := layers.BuildForwarding(ls, rng)
+	fwd := layers.NewForwarding(ls, seed)
 	return NewSim(sf, fwd, cfg), sf
 }
 

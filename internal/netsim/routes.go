@@ -1,66 +1,43 @@
 package netsim
 
 import (
+	"hash/fnv"
 	"sync"
-
-	"repro/internal/graph"
-	"repro/internal/topo"
 )
 
-// RouteCache holds the per-destination minimal (ECMP) next-hop tables for
-// one topology. A table is a pure function of the router graph, so every
-// simulation replicate of the same fabric can share one cache instead of
-// recomputing the reverse BFS per destination per replicate — the dominant
-// setup cost of short simulations. The cache is safe for concurrent use by
-// simulations running on different worker goroutines.
-type RouteCache struct {
-	topo *topo.Topology
+// Route lookup lives in internal/routing (surfaced through
+// layers.Forwarding): per-(layer, destination) multi-next-hop tables in
+// CSR form, built lazily under striped locks and shared by every
+// simulation of one fabric — including simulations running concurrently
+// on different worker goroutines. This file keeps only the simulator-side
+// selection: hashing a packet onto one of the ECMP candidates.
 
-	mu   sync.RWMutex
-	ecmp [][][]int32 // [dst][src] -> neighbors of src one hop closer to dst
-}
-
-// NewRouteCache returns an empty cache for a topology. Tables materialize
-// lazily, per destination, on first use.
-func NewRouteCache(t *topo.Topology) *RouteCache {
-	return &RouteCache{topo: t, ecmp: make([][][]int32, t.Nr())}
-}
-
-// minimalTable returns the minimal next-hop table toward dst, building it
-// on first use.
-func (rc *RouteCache) minimalTable(dst int) [][]int32 {
-	rc.mu.RLock()
-	tab := rc.ecmp[dst]
-	rc.mu.RUnlock()
-	if tab != nil {
-		return tab
+// hashNext picks one candidate next hop by flow hash (flow-based ECMP with
+// the Fowler–Noll–Vo hash, §VII-A6) at router r. The flowlet salt changes
+// the hash when the sender opens a new flowlet, and the layer is folded in
+// so the same flow maps independently within each layer.
+func hashNext(cands []int32, r int, p *Packet) int32 {
+	if len(cands) == 1 {
+		return cands[0]
 	}
-	rc.mu.Lock()
-	defer rc.mu.Unlock()
-	if rc.ecmp[dst] == nil {
-		rc.ecmp[dst] = buildECMPTable(rc.topo.G, dst)
-	}
-	return rc.ecmp[dst]
-}
-
-// buildECMPTable computes, for one destination router, every router's set
-// of minimal next hops via a reverse BFS.
-func buildECMPTable(g *graph.Graph, dst int) [][]int32 {
-	dist := g.BFS(dst)
-	table := make([][]int32, g.N())
-	for src := 0; src < g.N(); src++ {
-		if src == dst || dist[src] < 0 {
-			continue
-		}
-		var cands []int32
-		for _, h := range g.Neighbors(src) {
-			if dist[h.To] == dist[src]-1 {
-				cands = append(cands, h.To)
-			}
-		}
-		table[src] = cands
-	}
-	return table
+	h := fnv.New32a()
+	var buf [14]byte
+	buf[0] = byte(p.FlowID)
+	buf[1] = byte(p.FlowID >> 8)
+	buf[2] = byte(p.FlowID >> 16)
+	buf[3] = byte(p.FlowID >> 24)
+	buf[4] = byte(p.Salt)
+	buf[5] = byte(p.Salt >> 8)
+	buf[6] = byte(p.Salt >> 16)
+	buf[7] = byte(p.Salt >> 24)
+	buf[8] = byte(r)
+	buf[9] = byte(r >> 8)
+	buf[10] = byte(r >> 16)
+	buf[11] = byte(r >> 24)
+	buf[12] = byte(p.Kind)
+	buf[13] = byte(p.Layer)
+	h.Write(buf[:])
+	return cands[h.Sum32()%uint32(len(cands))]
 }
 
 // packetPool recycles Packet structs across all simulations in the

@@ -9,11 +9,13 @@ import (
 	"repro/internal/topo"
 )
 
-// TestSharedRouteCacheConcurrent runs replicate simulations of one fabric
-// concurrently against a shared RouteCache and checks each replicate's
-// results match a serial run with the same seed — the property the parallel
+// TestSharedRoutingEngineConcurrent runs replicate simulations of one
+// fabric concurrently against a single shared Forwarding (whose routing
+// tables materialize lazily under the engine's striped locks) and checks
+// each replicate's results match a serial run with a private Forwarding
+// built from the same layer set and seed — the property the parallel
 // experiment runtime depends on.
-func TestSharedRouteCacheConcurrent(t *testing.T) {
+func TestSharedRoutingEngineConcurrent(t *testing.T) {
 	sf, err := topo.SlimFly(5, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -22,13 +24,12 @@ func TestSharedRouteCacheConcurrent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fwd := layers.BuildForwarding(ls, graph.NewRand(1))
 
-	runOnce := func(routes *RouteCache, seed int64) []FlowResult {
+	runOnce := func(fwd *layers.Forwarding, seed int64) []FlowResult {
 		cfg := NDPDefaults()
-		cfg.LB = LBECMP // exercises the shared minimal next-hop tables
+		cfg.LB = LBFatPaths // exercises the per-layer ECMP candidate sets
 		cfg.Seed = seed
-		sim := NewSimShared(sf, fwd, cfg, routes)
+		sim := NewSim(sf, fwd, cfg)
 		rng := graph.NewRand(seed)
 		for i := 0; i < 40; i++ {
 			src, dst := graph.SampleDistinctPair(rng, sf.N())
@@ -40,10 +41,10 @@ func TestSharedRouteCacheConcurrent(t *testing.T) {
 	const replicates = 6
 	want := make([][]FlowResult, replicates)
 	for r := 0; r < replicates; r++ {
-		want[r] = runOnce(NewRouteCache(sf), int64(r))
+		want[r] = runOnce(layers.NewForwarding(ls, 7), int64(r))
 	}
 
-	shared := NewRouteCache(sf)
+	shared := layers.NewForwarding(ls, 7)
 	got := make([][]FlowResult, replicates)
 	var wg sync.WaitGroup
 	for r := 0; r < replicates; r++ {

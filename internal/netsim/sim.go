@@ -222,23 +222,18 @@ type senderState struct {
 	alphaWindowEnd, lastCutSeq int32
 }
 
-// NewSim builds a simulation over a topology with per-layer forwarding
-// tables. fwd must include at least layer 0 (all links). The simulation
-// owns a private RouteCache; replicated runs over one fabric should use
-// NewSimShared to amortize route computation.
+// NewSim builds a simulation over a topology with per-layer routing
+// tables. fwd must include at least layer 0 (all links). The tables live
+// in fwd's shared routing engine and materialize lazily per destination,
+// so replicate simulations of one fabric — including simulations running
+// concurrently on different worker goroutines — pay the route computation
+// once; the topology and tables are read-only during a run.
 func NewSim(t *topo.Topology, fwd *layers.Forwarding, cfg Config) *Sim {
-	return NewSimShared(t, fwd, cfg, NewRouteCache(t))
-}
-
-// NewSimShared builds a simulation that reuses a RouteCache across
-// replicates of the same fabric. Concurrent simulations may share one
-// cache; the topology and forwarding tables are read-only during a run.
-func NewSimShared(t *topo.Topology, fwd *layers.Forwarding, cfg Config, routes *RouteCache) *Sim {
 	if cfg.LinkBps == 0 {
 		panic("netsim: zero link bandwidth")
 	}
 	eng := NewEngine()
-	net := buildNetwork(eng, t, fwd, cfg, routes)
+	net := buildNetwork(eng, t, fwd, cfg)
 	s := &Sim{
 		Eng:      eng,
 		Net:      net,
@@ -330,7 +325,12 @@ func (s *Sim) pickRoute(f *flow) {
 		}
 	case LBFatPaths:
 		if newFlowlet {
+			// A new flowlet re-randomizes both the layer AND the hash salt:
+			// the flowlet rides one consistent path, but successive flowlets
+			// spread over the layer's full within-layer ECMP candidate sets
+			// (§III-B), not a single frozen hop per (layer, pair).
 			s.reselectLayer(f)
+			f.salt = s.rng.Uint32()
 		}
 	case LBMinimalLayer:
 		f.layer = 0

@@ -1,0 +1,341 @@
+// Package routing is the single source of path truth for the repository:
+// per-(layer, destination) multi-next-hop tables in compact CSR form,
+// shared by the deployed forwarding view (internal/layers), the packet
+// simulator (internal/netsim), and the analytics/experiments that read
+// path statistics.
+//
+// FatPaths routes minimally *within* each layer and load-balances across
+// layers (§V of the paper). Minimal routing almost always leaves ties —
+// several neighbors one hop closer to the destination — and the paper
+// resolves them with ECMP inside the layer (§V-C). Earlier revisions of
+// this repository froze one arbitrary tie per (layer, src, dst) in a dense
+// n·Nr² array and re-derived the full ECMP sets separately for the
+// simulator; this package keeps the whole candidate set once, in CSR form,
+// and every consumer reads the same tables.
+//
+// Tables materialize lazily per destination (only destinations actually
+// routed to occupy memory — the big win at paper-scale router counts,
+// where a workload touches a small slice of the Nr destinations) or
+// eagerly in parallel via BuildAll. Construction is a pure function of
+// (graph, layer mask, destination) and tie-breaking folds the engine seed
+// with the (layer, src, dst) coordinates, so tables and next-hop picks are
+// byte-identical for any worker count and any build order.
+package routing
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/exec"
+	"repro/internal/graph"
+)
+
+// Table is the multi-next-hop table of one (layer, destination) pair: for
+// every source router, the hop distance to the destination and the set of
+// neighbors one hop closer (the within-layer ECMP candidates), packed in
+// CSR form. Tables are immutable once published and safe to share.
+type Table struct {
+	// Dist[src] is the hop count from src to the destination within the
+	// layer, or -1 when unreachable (possible in sparse layers).
+	Dist []int32
+	// Off/Cand is the CSR packing: Cand[Off[src]:Off[src+1]] lists src's
+	// candidate next hops in adjacency (neighbor-ID) order. The destination
+	// itself and unreachable sources have empty candidate sets.
+	Off  []int32
+	Cand []int32
+}
+
+// Candidates returns src's ECMP candidate set. The slice aliases the
+// table; callers must not modify it.
+func (t *Table) Candidates(src int) []int32 {
+	return t.Cand[t.Off[src]:t.Off[src+1]]
+}
+
+// numStripes is the build-lock stripe count: first-touch builds of
+// different (layer, destination) slots proceed concurrently unless they
+// hash to the same stripe, instead of serializing on one global mutex.
+const numStripes = 64
+
+// routeCountCap saturates minimal-route counts (RouteCounts) so dense
+// graphs cannot overflow int64.
+const routeCountCap = int64(1) << 40
+
+// Engine computes and caches the tables of one layered routing
+// configuration. It is safe for concurrent use: reads are lock-free once a
+// table is published, and first-touch builds take a per-slot striped lock.
+type Engine struct {
+	g     *graph.Graph
+	masks [][]bool // masks[layer]; nil means the full edge set
+	seed  int64
+	nr    int
+
+	tables  []atomic.Pointer[Table] // slot = layer*nr + dst
+	stripes [numStripes]sync.Mutex
+}
+
+// NewEngine returns an engine over g with one routing layer per mask
+// (masks[l][edgeID] enables the edge in layer l; a nil mask is the full
+// layer). seed drives deterministic tie-breaking in Next. Masks are
+// treated as read-only and must not be mutated afterwards.
+func NewEngine(g *graph.Graph, masks [][]bool, seed int64) *Engine {
+	return &Engine{
+		g:      g,
+		masks:  masks,
+		seed:   seed,
+		nr:     g.N(),
+		tables: make([]atomic.Pointer[Table], len(masks)*g.N()),
+	}
+}
+
+// NumLayers returns the number of routing layers.
+func (e *Engine) NumLayers() int { return len(e.masks) }
+
+// Nr returns the number of routers.
+func (e *Engine) Nr() int { return e.nr }
+
+// Seed returns the tie-breaking seed.
+func (e *Engine) Seed() int64 { return e.seed }
+
+// Table returns the (layer, dst) table, building it on first use. The
+// build is guarded by a striped lock so concurrent first touches of
+// different destinations do not serialize.
+func (e *Engine) Table(layer, dst int) *Table {
+	slot := layer*e.nr + dst
+	if t := e.tables[slot].Load(); t != nil {
+		return t
+	}
+	mu := &e.stripes[slot%numStripes]
+	mu.Lock()
+	defer mu.Unlock()
+	if t := e.tables[slot].Load(); t != nil {
+		return t
+	}
+	t := buildTable(e.g, e.masks[layer], dst)
+	e.tables[slot].Store(t)
+	return t
+}
+
+// buildTable computes one (layer mask, destination) table via a reverse
+// BFS. Pure function of its inputs; adjacency lists are pre-sorted by the
+// generators, so candidate order is deterministic.
+func buildTable(g *graph.Graph, mask []bool, dst int) *Table {
+	var dist []int32
+	if mask == nil {
+		dist = g.BFS(dst)
+	} else {
+		dist = g.BFSEnabled(dst, mask)
+	}
+	nr := g.N()
+	total := 0
+	for src := 0; src < nr; src++ {
+		if src == dst || dist[src] <= 0 {
+			continue
+		}
+		for _, h := range g.Neighbors(src) {
+			if mask != nil && !mask[h.Edge] {
+				continue
+			}
+			if dist[h.To] == dist[src]-1 {
+				total++
+			}
+		}
+	}
+	off := make([]int32, nr+1)
+	cand := make([]int32, 0, total)
+	for src := 0; src < nr; src++ {
+		off[src] = int32(len(cand))
+		if src == dst || dist[src] <= 0 {
+			continue
+		}
+		for _, h := range g.Neighbors(src) {
+			if mask != nil && !mask[h.Edge] {
+				continue
+			}
+			if dist[h.To] == dist[src]-1 {
+				cand = append(cand, h.To)
+			}
+		}
+	}
+	off[nr] = int32(len(cand))
+	return &Table{Dist: dist, Off: off, Cand: cand}
+}
+
+// Candidates returns the ECMP candidate next hops from src toward dst
+// within the layer (empty when src == dst or dst is unreachable).
+func (e *Engine) Candidates(layer, src, dst int) []int32 {
+	return e.Table(layer, dst).Candidates(src)
+}
+
+// Dist returns the hop distance from src to dst within the layer, or -1
+// when unreachable.
+func (e *Engine) Dist(layer, src, dst int) int32 {
+	return e.Table(layer, dst).Dist[src]
+}
+
+// Reachable reports whether dst is reachable from src within the layer.
+func (e *Engine) Reachable(layer, src, dst int) bool {
+	return src == dst || e.Dist(layer, src, dst) >= 0
+}
+
+// Next returns one deterministic next hop from src toward dst within the
+// layer, or -1 when unreachable. Ties are broken by folding the engine
+// seed with the (layer, src, dst) coordinates — a pure function, so the
+// pick never depends on build order or worker count (the dense builder
+// it replaces consumed a shared rng sequentially).
+func (e *Engine) Next(layer, src, dst int) int32 {
+	c := e.Candidates(layer, src, dst)
+	switch len(c) {
+	case 0:
+		return -1
+	case 1:
+		return c[0]
+	}
+	key := (uint64(layer)*uint64(e.nr)+uint64(src))*uint64(e.nr) + uint64(dst)
+	return c[uint64(exec.FoldSeed(e.seed, key))%uint64(len(c))]
+}
+
+// BuildAll materializes every (layer, destination) table eagerly on up to
+// `workers` goroutines (0 or negative selects all cores). Because each
+// table is a pure function of its slot, the resulting engine state is
+// identical for every worker count.
+func (e *Engine) BuildAll(workers int) {
+	n := e.NumLayers() * e.nr
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// fn never fails; the error return exists to satisfy ParallelMap.
+	_, _ = exec.ParallelMap(workers, n, func(i int) (struct{}, error) {
+		e.Table(i/e.nr, i%e.nr)
+		return struct{}{}, nil
+	})
+}
+
+// RouteCounts returns, for every source router, the number of distinct
+// minimal routes to dst within the layer (0 when unreachable, 1 for the
+// destination itself), computed by dynamic programming over the table's
+// candidate DAG. Counts saturate at 2^40.
+func (e *Engine) RouteCounts(layer, dst int) []int64 {
+	t := e.Table(layer, dst)
+	counts := make([]int64, e.nr)
+	counts[dst] = 1
+	maxd := int32(0)
+	for _, d := range t.Dist {
+		if d > maxd {
+			maxd = d
+		}
+	}
+	// Process sources by increasing distance: every candidate of a source
+	// at distance d sits at distance d-1 and is already final.
+	buckets := make([][]int32, maxd+1)
+	for src, d := range t.Dist {
+		if d > 0 {
+			buckets[d] = append(buckets[d], int32(src))
+		}
+	}
+	for d := int32(1); d <= maxd; d++ {
+		for _, src := range buckets[d] {
+			var sum int64
+			for _, c := range t.Candidates(int(src)) {
+				sum += counts[c]
+				if sum > routeCountCap {
+					sum = routeCountCap
+					break
+				}
+			}
+			counts[src] = sum
+		}
+	}
+	return counts
+}
+
+// Stats summarizes the engine's materialized state.
+type Stats struct {
+	// TablesBuilt / TablesTotal count materialized vs possible
+	// (layer, destination) tables.
+	TablesBuilt, TablesTotal int
+	// CandEntries is the total number of CSR candidate entries across
+	// built tables — the deployed multi-next-hop state.
+	CandEntries int64
+}
+
+// Stat reports how much routing state has been materialized so far.
+func (e *Engine) Stat() Stats {
+	st := Stats{TablesTotal: len(e.tables)}
+	for i := range e.tables {
+		t := e.tables[i].Load()
+		if t == nil {
+			continue
+		}
+		st.TablesBuilt++
+		st.CandEntries += int64(len(t.Cand))
+	}
+	return st
+}
+
+// WithoutEdges returns a derived engine with the given base edges removed
+// from every layer — the §V-G "major topology update" repair path. Instead
+// of rebuilding every table, invalidation is incremental and per
+// destination: a built table survives unless one of the removed edges was
+// both present in its layer and *tight* toward its destination (i.e. on
+// some minimal path, which is exactly when the edge appears in a candidate
+// set). Non-tight edges cannot change any distance or candidate set, so
+// those tables are shared with the parent engine; affected or unbuilt
+// tables rebuild lazily against the repaired masks.
+func (e *Engine) WithoutEdges(failed []int) *Engine {
+	dead := make([]bool, e.g.M())
+	for _, id := range failed {
+		if id >= 0 && id < len(dead) {
+			dead[id] = true
+		}
+	}
+	out := &Engine{
+		g:      e.g,
+		masks:  make([][]bool, len(e.masks)),
+		seed:   e.seed,
+		nr:     e.nr,
+		tables: make([]atomic.Pointer[Table], len(e.tables)),
+	}
+	for l := range e.masks {
+		old := e.masks[l]
+		mask := make([]bool, e.g.M())
+		var removed []graph.Edge
+		for id := range mask {
+			on := old == nil || old[id]
+			if on && dead[id] {
+				removed = append(removed, e.g.Edge(id))
+				continue
+			}
+			mask[id] = on
+		}
+		out.masks[l] = mask
+		for d := 0; d < e.nr; d++ {
+			t := e.tables[l*e.nr+d].Load()
+			if t == nil || tableUsesAny(t, removed) {
+				continue
+			}
+			out.tables[l*e.nr+d].Store(t)
+		}
+	}
+	return out
+}
+
+// tableUsesAny reports whether any of the removed edges is tight in the
+// table (a member of a candidate set in either direction).
+func tableUsesAny(t *Table, removed []graph.Edge) bool {
+	for _, e := range removed {
+		if candContains(t.Candidates(int(e.U)), e.V) || candContains(t.Candidates(int(e.V)), e.U) {
+			return true
+		}
+	}
+	return false
+}
+
+func candContains(cands []int32, v int32) bool {
+	for _, c := range cands {
+		if c == v {
+			return true
+		}
+	}
+	return false
+}

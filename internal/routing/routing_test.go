@@ -1,0 +1,297 @@
+package routing
+
+import (
+	"math/rand"
+	"os"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/topo"
+)
+
+// testMasks builds layer masks over g: layer 0 full (nil), the rest random
+// edge subsets at the given density.
+func testMasks(g *graph.Graph, n int, rho float64, rng *rand.Rand) [][]bool {
+	masks := make([][]bool, n)
+	for l := 1; l < n; l++ {
+		m := make([]bool, g.M())
+		for id := range m {
+			m[id] = rng.Float64() < rho
+		}
+		masks[l] = m
+	}
+	return masks
+}
+
+func testEngine(t *testing.T, seed int64) (*Engine, *graph.Graph) {
+	t.Helper()
+	sf, err := topo.SlimFly(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	masks := testMasks(sf.G, 4, 0.7, graph.NewRand(99))
+	return NewEngine(sf.G, masks, seed), sf.G
+}
+
+// requireEqualEngines asserts two engines produce byte-identical tables
+// for every (layer, destination).
+func requireEqualEngines(t *testing.T, a, b *Engine) {
+	t.Helper()
+	if a.NumLayers() != b.NumLayers() || a.Nr() != b.Nr() {
+		t.Fatalf("shape mismatch: %d/%d layers, %d/%d routers", a.NumLayers(), b.NumLayers(), a.Nr(), b.Nr())
+	}
+	for l := 0; l < a.NumLayers(); l++ {
+		for d := 0; d < a.Nr(); d++ {
+			ta, tb := a.Table(l, d), b.Table(l, d)
+			if !reflect.DeepEqual(ta, tb) {
+				t.Fatalf("table (%d,%d) differs", l, d)
+			}
+		}
+	}
+}
+
+func TestLazyVsEagerIdentical(t *testing.T) {
+	lazy, _ := testEngine(t, 3)
+	eager, _ := testEngine(t, 3)
+	eager.BuildAll(8)
+	// Touch the lazy engine in a scrambled destination order first, so any
+	// build-order dependence would surface.
+	rng := graph.NewRand(1)
+	for _, d := range rng.Perm(lazy.Nr()) {
+		for l := lazy.NumLayers() - 1; l >= 0; l-- {
+			lazy.Table(l, d)
+		}
+	}
+	requireEqualEngines(t, lazy, eager)
+}
+
+func TestBuildAllWorkerCountsIdentical(t *testing.T) {
+	serial, _ := testEngine(t, 5)
+	serial.BuildAll(1)
+	par, _ := testEngine(t, 5)
+	par.BuildAll(7)
+	requireEqualEngines(t, serial, par)
+}
+
+// TestConcurrentFirstTouch hammers lazy first-touch builds from many
+// goroutines (the striped-lock path) and checks the result matches a
+// serial build. Run under -race in CI.
+func TestConcurrentFirstTouch(t *testing.T) {
+	ref, _ := testEngine(t, 7)
+	ref.BuildAll(1)
+	shared, _ := testEngine(t, 7)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := graph.NewRand(int64(w))
+			for i := 0; i < 200; i++ {
+				l := rng.Intn(shared.NumLayers())
+				d := rng.Intn(shared.Nr())
+				shared.Table(l, d)
+				shared.Next(l, rng.Intn(shared.Nr()), d)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for l := 0; l < ref.NumLayers(); l++ {
+		for d := 0; d < ref.Nr(); d++ {
+			if !reflect.DeepEqual(ref.Table(l, d), shared.Table(l, d)) {
+				t.Fatalf("concurrent build of (%d,%d) differs from serial", l, d)
+			}
+		}
+	}
+}
+
+func TestNextIsDeterministicCandidate(t *testing.T) {
+	e, _ := testEngine(t, 11)
+	e2, _ := testEngine(t, 11)
+	e2.BuildAll(4)
+	for l := 0; l < e.NumLayers(); l++ {
+		for s := 0; s < e.Nr(); s += 3 {
+			for d := 0; d < e.Nr(); d += 5 {
+				nh := e.Next(l, s, d)
+				if nh != e2.Next(l, s, d) {
+					t.Fatalf("Next(%d,%d,%d) differs across builds", l, s, d)
+				}
+				cands := e.Candidates(l, s, d)
+				if len(cands) == 0 {
+					if nh != -1 {
+						t.Fatalf("Next(%d,%d,%d)=%d with no candidates", l, s, d, nh)
+					}
+					continue
+				}
+				if !candContains(cands, nh) {
+					t.Fatalf("Next(%d,%d,%d)=%d not a candidate", l, s, d, nh)
+				}
+			}
+		}
+	}
+	// A different seed must flip at least one tie. A Slim Fly's full layer
+	// has essentially no minimal-path ties (the paper's point), so check on
+	// a HyperX, where most pairs have several dimension-order candidates.
+	hx, err := topo.HyperX(3, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea := NewEngine(hx.G, make([][]bool, 1), 1)
+	eb := NewEngine(hx.G, make([][]bool, 1), 2)
+	changed := false
+	for s := 0; s < ea.Nr() && !changed; s++ {
+		for d := 0; d < ea.Nr(); d++ {
+			if ea.Next(0, s, d) != eb.Next(0, s, d) {
+				changed = true
+				break
+			}
+		}
+	}
+	if !changed {
+		t.Fatal("tie-breaking ignores the seed")
+	}
+}
+
+func TestDistMatchesBFS(t *testing.T) {
+	e, g := testEngine(t, 13)
+	for d := 0; d < g.N(); d += 7 {
+		dist := g.BFS(d)
+		for s := 0; s < g.N(); s++ {
+			if e.Dist(0, s, d) != dist[s] {
+				t.Fatalf("Dist(0,%d,%d)=%d, BFS says %d", s, d, e.Dist(0, s, d), dist[s])
+			}
+		}
+	}
+}
+
+func TestRouteCountsMatchShortestPathDAG(t *testing.T) {
+	e, g := testEngine(t, 17)
+	for d := 0; d < g.N(); d += 11 {
+		counts := e.RouteCounts(0, d)
+		_, want := g.ShortestPathDAGCounts(d, 0)
+		for s := 0; s < g.N(); s++ {
+			if counts[s] != want[s] {
+				t.Fatalf("RouteCounts(0,%d)[%d]=%d, DAG count %d", d, s, counts[s], want[s])
+			}
+		}
+	}
+}
+
+func TestWithoutEdgesIncremental(t *testing.T) {
+	parent, g := testEngine(t, 19)
+	parent.BuildAll(4)
+	failed := []int{0, 1, 2}
+
+	derived := parent.WithoutEdges(failed)
+	// Ground truth: a fresh engine over the already-masked edge sets.
+	masks := testMasks(g, 4, 0.7, graph.NewRand(99))
+	fresh := make([][]bool, len(masks))
+	for l, m := range masks {
+		fm := make([]bool, g.M())
+		for id := range fm {
+			fm[id] = m == nil || m[id]
+		}
+		for _, id := range failed {
+			fm[id] = false
+		}
+		fresh[l] = fm
+	}
+	want := NewEngine(g, fresh, 19)
+	requireEqualEngines(t, derived, want)
+
+	// Sharing: unaffected tables are the parent's very pointers; tables
+	// whose minimal-path DAG used a failed edge were dropped and rebuilt.
+	shared, rebuilt := 0, 0
+	for l := 0; l < parent.NumLayers(); l++ {
+		for d := 0; d < parent.Nr(); d++ {
+			if derived.Table(l, d) == parent.Table(l, d) {
+				shared++
+			} else {
+				rebuilt++
+			}
+		}
+	}
+	if shared == 0 {
+		t.Fatal("incremental repair shared no tables")
+	}
+	if rebuilt == 0 {
+		t.Fatal("removing minimal-layer edges must invalidate some tables")
+	}
+	// The failed edges are tight toward their own endpoints in the full
+	// layer, so those destinations must have been rebuilt.
+	e0 := g.Edge(0)
+	if derived.Table(0, int(e0.U)) == parent.Table(0, int(e0.U)) {
+		t.Fatal("table toward a failed edge's endpoint must be invalidated")
+	}
+	// And no repaired table offers a failed edge as a candidate.
+	for l := 0; l < derived.NumLayers(); l++ {
+		for d := 0; d < derived.Nr(); d++ {
+			tab := derived.Table(l, d)
+			for _, id := range failed {
+				e := g.Edge(id)
+				if candContains(tab.Candidates(int(e.U)), e.V) || candContains(tab.Candidates(int(e.V)), e.U) {
+					t.Fatalf("repaired table (%d,%d) still uses failed edge %d", l, d, id)
+				}
+			}
+		}
+	}
+}
+
+func TestStatCountsMaterialization(t *testing.T) {
+	e, _ := testEngine(t, 23)
+	if st := e.Stat(); st.TablesBuilt != 0 || st.TablesTotal != e.NumLayers()*e.Nr() {
+		t.Fatalf("fresh engine stat %+v", st)
+	}
+	e.Table(0, 5)
+	e.Table(2, 7)
+	st := e.Stat()
+	if st.TablesBuilt != 2 {
+		t.Fatalf("built %d tables, want 2", st.TablesBuilt)
+	}
+	if st.CandEntries <= 0 {
+		t.Fatal("built tables must contribute candidate entries")
+	}
+	e.BuildAll(0)
+	if st := e.Stat(); st.TablesBuilt != st.TablesTotal {
+		t.Fatalf("BuildAll left %d of %d tables unbuilt", st.TablesTotal-st.TablesBuilt, st.TablesTotal)
+	}
+}
+
+// TestFullEquivalenceRouting is the exhaustive companion of the sampled
+// determinism tests above, wired into the same FATPATHS_FULL_EQUIV harness
+// as the experiment-level equivalence suite: several topologies, every
+// build strategy (lazy scrambled, eager at 1/2/4/8 workers), byte-compared.
+func TestFullEquivalenceRouting(t *testing.T) {
+	if os.Getenv("FATPATHS_FULL_EQUIV") == "" {
+		t.Skip("set FATPATHS_FULL_EQUIV=1 for the exhaustive routing determinism sweep")
+	}
+	rng := graph.NewRand(4)
+	tops := map[string]*graph.Graph{}
+	if sf, err := topo.SlimFly(7, 0); err == nil {
+		tops["SF7"] = sf.G
+	}
+	if df, err := topo.Dragonfly(3); err == nil {
+		tops["DF3"] = df.G
+	}
+	if hx, err := topo.HyperX(3, 4, 0); err == nil {
+		tops["HX34"] = hx.G
+	}
+	for name, g := range tops {
+		masks := testMasks(g, 5, 0.6, graph.NewRand(8))
+		ref := NewEngine(g, masks, 77)
+		ref.BuildAll(1)
+		for _, workers := range []int{2, 4, 8} {
+			e := NewEngine(g, masks, 77)
+			e.BuildAll(workers)
+			t.Run(name, func(t *testing.T) { requireEqualEngines(t, ref, e) })
+		}
+		lazy := NewEngine(g, masks, 77)
+		for _, d := range rng.Perm(g.N()) {
+			for l := 0; l < lazy.NumLayers(); l++ {
+				lazy.Table(l, d)
+			}
+		}
+		t.Run(name+"/lazy", func(t *testing.T) { requireEqualEngines(t, ref, lazy) })
+	}
+}
