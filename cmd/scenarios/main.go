@@ -1,0 +1,144 @@
+// Command scenarios runs declarative scenario matrices (internal/scenario)
+// from JSON spec files. A spec file holds one Matrix: a base Spec plus
+// per-axis value lists and optional skip constraints; the engine expands
+// the cross product, folds deterministic seeds per cell, and fans the cells
+// out over the parallel experiment runtime.
+//
+// Usage:
+//
+//	go run ./cmd/scenarios -spec examples/scenarios/failure_ladder.json
+//	go run ./cmd/scenarios -spec examples/scenarios/*.json         # several files
+//	go run ./cmd/scenarios -cells -spec sweep.json                 # expansion only
+//	go run ./cmd/scenarios -json -seed 7 -spec sweep.json > out.json
+//
+// Output is byte-identical for every -parallel value at a fixed -seed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// fileResult is the machine-readable form of one spec file's run (-json).
+type fileResult struct {
+	File    string                `json:"file"`
+	Name    string                `json:"name"`
+	Cells   int                   `json:"cells"`
+	Skipped int                   `json:"skipped"`
+	Results []scenario.CellResult `json:"results,omitempty"`
+	Seconds float64               `json:"seconds,omitempty"`
+}
+
+func main() {
+	var (
+		spec     = flag.String("spec", "", "scenario matrix spec file (further files may follow as positional arguments)")
+		seed     = flag.Int64("seed", 42, "random seed")
+		parallel = flag.Int("parallel", 0, "worker goroutines (0 = all cores)")
+		jsonOut  = flag.Bool("json", false, "emit JSON instead of text tables")
+		cells    = flag.Bool("cells", false, "only expand and list the matrix cells, don't simulate")
+		progress = flag.Bool("progress", true, "report per-cell progress on stderr")
+	)
+	flag.Parse()
+
+	files := flag.Args()
+	if *spec != "" {
+		files = append([]string{*spec}, files...)
+	}
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: scenarios -spec <matrix.json> [more.json ...] (see examples/scenarios/)")
+		os.Exit(2)
+	}
+
+	var out []fileResult
+	for _, file := range files {
+		m, err := loadMatrix(file)
+		if err != nil {
+			fail(err)
+		}
+		cs, skipped, err := m.Expand()
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", file, err))
+		}
+		fr := fileResult{File: file, Name: m.Name, Cells: len(cs), Skipped: skipped}
+		if *cells {
+			if !*jsonOut {
+				fmt.Printf("# %s — %s: %d cells (%d skipped by constraints)\n", file, m.Name, len(cs), skipped)
+				for i, c := range cs {
+					fmt.Printf("  [%3d] %s\n", i, cellLine(c))
+				}
+			}
+			out = append(out, fr)
+			continue
+		}
+		opts := scenario.RunOptions{Seed: *seed, Parallelism: *parallel}
+		if *progress {
+			name := m.Name
+			opts.Progress = func(done, total int) {
+				fmt.Fprintf(os.Stderr, "\r%s: %d/%d cells", name, done, total)
+			}
+		}
+		start := time.Now()
+		results, err := scenario.RunSpecs(cs, opts)
+		if *progress {
+			fmt.Fprintf(os.Stderr, "\r%s\r", strings.Repeat(" ", len(m.Name)+24))
+		}
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", file, err))
+		}
+		fr.Seconds = time.Since(start).Seconds()
+		fr.Results = results
+		out = append(out, fr)
+		if !*jsonOut {
+			title := m.Name
+			if title == "" {
+				title = file
+			}
+			fmt.Printf("# %s — %d cells, %d skipped (%.1fs)\n%s\n",
+				title, len(cs), skipped, fr.Seconds, scenario.Table(title, results))
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// loadMatrix reads one Matrix spec file. Unknown fields are rejected so
+// typos in spec files fail loudly instead of silently selecting defaults.
+func loadMatrix(file string) (*scenario.Matrix, error) {
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	var m scenario.Matrix
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("%s: %w", file, err)
+	}
+	return &m, nil
+}
+
+// cellLine renders one expanded cell's axis values for -cells.
+func cellLine(s scenario.Spec) string {
+	var parts []string
+	for _, axis := range scenario.AxisNames() {
+		parts = append(parts, axis+"="+scenario.AxisValueMust(s, axis))
+	}
+	return strings.Join(parts, " ")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

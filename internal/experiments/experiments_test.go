@@ -5,7 +5,10 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/core"
+	"repro/internal/netsim"
 	"repro/internal/topo"
+	"repro/internal/traffic"
 )
 
 func quick() Options { return Options{Quick: true, Seed: 1} }
@@ -133,37 +136,37 @@ func TestLayerCountComparison(t *testing.T) {
 	}
 }
 
-// Smoke-run the packet-simulation experiments that are cheap enough for
-// unit tests; the heavier ones run as benchmarks (bench_test.go at the
+// The packet-simulation experiments are exercised end-to-end (including
+// full table content) by the golden-table harness in golden_test.go; the
+// heaviest figures additionally run as benchmarks (bench_test.go at the
 // repository root) and via cmd/experiments.
-func TestSimulationExperimentsSmoke(t *testing.T) {
-	if testing.Short() {
-		t.Skip("simulation experiments skipped in -short mode")
+
+// TestMalformedPatternRejected: runSeries (the gate every hand-rolled
+// simulation runner funnels through; scenario-backed runners validate in
+// internal/scenario) must reject an out-of-range or self-flow pattern with
+// a useful error instead of simulating garbage.
+func TestMalformedPatternRejected(t *testing.T) {
+	sf, err := topo.SlimFly(3, 0)
+	if err != nil {
+		t.Fatal(err)
 	}
-	// fig11/fig14/fig16/fig17 take tens of seconds each even in quick
-	// mode; they run as benchmarks instead.
-	ids := []string{
-		"fig2", "fig9", "fig12", "fig13", "fig15",
-		"fig20", "fig21",
-		"abl-transport", "abl-construction", "abl-randomization",
-		"ext-failures", "ext-mptcp", "ext-tables",
+	fab, err := core.Build(sf, core.Config{NumLayers: 2, Rho: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
 	}
-	for _, id := range ids {
-		id := id
-		t.Run(id, func(t *testing.T) {
-			t.Parallel()
-			e, err := ByID(id)
-			if err != nil {
-				t.Fatal(err)
-			}
-			tab, err := e.Run(quick())
-			if err != nil {
-				t.Fatal(err)
-			}
-			if len(tab.Rows) == 0 {
-				t.Fatal("no rows")
-			}
-		})
+	bad := traffic.Pattern{Name: "broken", N: sf.N(), Flows: []traffic.Flow{{Src: 0, Dst: int32(sf.N() + 5)}}}
+	_, err = runSeries(fab, netsim.NDPDefaults(), bad, 32<<10, 0, netsim.Second, 1)
+	if err == nil {
+		t.Fatal("out-of-range pattern must be rejected")
+	}
+	for _, want := range []string{"broken", "out of range"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q should mention %q", err, want)
+		}
+	}
+	self := traffic.Pattern{Name: "selfie", N: sf.N(), Flows: []traffic.Flow{{Src: 3, Dst: 3}}}
+	if _, err := runSeries(fab, netsim.NDPDefaults(), self, 32<<10, 0, netsim.Second, 1); err == nil {
+		t.Fatal("self-flow pattern must be rejected")
 	}
 }
 

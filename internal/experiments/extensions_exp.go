@@ -101,13 +101,19 @@ func runExtMPTCP(o Options) (*stats.Table, error) {
 		case 0:
 			// Flowlet FatPaths baseline.
 			cfg := netsim.TCPDefaults(netsim.TransportTCP)
-			res := runSeries(fab, cfg, pat, size, 0, horizon, simSeed)
+			res, err := runSeries(fab, cfg, pat, size, 0, horizon, simSeed)
+			if err != nil {
+				return err
+			}
 			fct := netsim.SummarizeFCT(res)
 			c.AddRowf("flowlet FatPaths", fct.Mean, fct.P99, fmtPct(netsim.CompletedFraction(res)))
 		case 1:
 			// Native MPTCP transport (LIA-coupled subflows over pinned layers).
 			mcfg := netsim.TCPDefaults(netsim.TransportMPTCP)
-			mres := runSeries(fab, mcfg, pat, size, 0, horizon, simSeed)
+			mres, err := runSeries(fab, mcfg, pat, size, 0, horizon, simSeed)
+			if err != nil {
+				return err
+			}
 			mfct := netsim.SummarizeFCT(mres)
 			c.AddRowf("MPTCP transport (LIA)", mfct.Mean, mfct.P99, fmtPct(netsim.CompletedFraction(mres)))
 		default:

@@ -1,0 +1,7 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in; the golden
+// harness uses it to skip the slowest simulation figures under -race.
+const raceEnabled = true

@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/netsim"
+	"repro/internal/scenario"
 	"repro/internal/stats"
 	"repro/internal/topo"
 	"repro/internal/traffic"
@@ -20,10 +21,13 @@ import (
 // transport/construction/randomization ablations (see README.md's
 // experiment table).
 //
-// Each runner enumerates its independent cells in a serial prologue (the
-// canonical row order) and fans them out via runCells; simulations inside a
-// cell are seeded from the cell, or from a sharedSeed when several cells of
-// a sweep must compare against the identical workload.
+// fig2, fig11, fig13 and the three ablations are declarative scenario
+// matrices (internal/scenario): the runner states the swept axes and skip
+// constraints, the engine expands, seeds, and executes the cells over the
+// parallel runtime, and the runner only reformats CellResults into the
+// figure's table shape. The remaining runners enumerate cells by hand (they
+// embed per-cell baselines or model predictions the matrix form does not
+// express) and fan out via runCells with the same seed-folding discipline.
 
 func init() {
 	register("fig2", "Throughput/flow vs flow size: low-diameter+FatPaths vs FT+NDP (randomized workload)", runFig2)
@@ -85,10 +89,62 @@ func simSuite(o Options, rng *rand.Rand) (map[string]*topo.Topology, error) {
 	return out, nil
 }
 
-// runSeries simulates one (fabric, config, pattern, size) combination.
-func runSeries(fab *core.Fabric, cfg netsim.Config, pat traffic.Pattern, size int64, lambda float64, horizon netsim.Time, seed int64) []netsim.FlowResult {
+// scenTopo maps a simSuite family tag onto the scenario topology spec of
+// the same size at the current scale.
+func scenTopo(o Options, kind string) scenario.Topology {
+	switch kind {
+	case "SF":
+		return scenario.Topology{Kind: "SF", Param: pick(o, 5, 11)}
+	case "JF":
+		return scenario.Topology{Kind: "JF", Param: pick(o, 5, 11)}
+	case "DF":
+		return scenario.Topology{Kind: "DF", Param: pick(o, 3, 4)}
+	case "HX":
+		return scenario.Topology{Kind: "HX", Param: pick(o, 4, 7)}
+	case "XP":
+		return scenario.Topology{Kind: "XP", Param: pick(o, 8, 16)}
+	case "FT":
+		return scenario.Topology{Kind: "FT3", Param: pick(o, 4, 8)}
+	}
+	panic("unknown suite kind " + kind)
+}
+
+func scenTopos(o Options, kinds ...string) []scenario.Topology {
+	out := make([]scenario.Topology, len(kinds))
+	for i, k := range kinds {
+		out[i] = scenTopo(o, k)
+	}
+	return out
+}
+
+// runMatrices expands the given matrices, concatenates their cells in
+// order, and executes everything as one batch over the parallel runtime
+// with the experiment's seed and progress reporting.
+func runMatrices(o Options, ms ...*scenario.Matrix) ([]scenario.CellResult, error) {
+	var cells []scenario.Spec
+	for _, m := range ms {
+		cs, _, err := m.Expand()
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, cs...)
+	}
+	return scenario.RunSpecs(cells, scenario.RunOptions{
+		Seed:        o.Seed,
+		Parallelism: o.workers(),
+		Progress:    o.Progress,
+	})
+}
+
+// runSeries simulates one (fabric, config, pattern, size) combination. The
+// pattern is validated first: a malformed pattern aborts the experiment
+// with a useful error instead of simulating garbage.
+func runSeries(fab *core.Fabric, cfg netsim.Config, pat traffic.Pattern, size int64, lambda float64, horizon netsim.Time, seed int64) ([]netsim.FlowResult, error) {
+	if err := pat.ValidateFlows(); err != nil {
+		return nil, err
+	}
 	wl := core.Workload{Pattern: pat, FlowSize: traffic.FixedSize(size), Lambda: lambda}
-	return fab.RunWorkload(cfg, wl, horizon, seed)
+	return fab.RunWorkload(cfg, wl, horizon, seed), nil
 }
 
 func flowSizes(o Options) []int64 {
@@ -98,9 +154,42 @@ func flowSizes(o Options) []int64 {
 	return []int64{32 << 10, 128 << 10, 512 << 10, 2 << 20}
 }
 
+func scenSizes(o Options) []scenario.FlowSize {
+	var out []scenario.FlowSize
+	for _, b := range flowSizes(o) {
+		out = append(out, scenario.FlowSize{Bytes: b})
+	}
+	return out
+}
+
 func runFig2(o Options) (*stats.Table, error) {
-	rng := graph.NewRand(o.Seed)
-	suite, err := simSuite(o, rng)
+	// Low-diameter topologies run FatPaths; the fat tree runs the plain NDP
+	// design (per-packet spraying over minimal paths, no layers). Both
+	// matrices share the randomized-uniform workload axes.
+	base := scenario.Spec{
+		Pattern:   scenario.Pattern{Kind: "uniform", Randomize: true},
+		Load:      300,
+		HorizonMs: 8000,
+	}
+	lowDiam := &scenario.Matrix{
+		Name: "fig2-fatpaths",
+		Base: base,
+		Axes: scenario.Axes{
+			Topologies: scenTopos(o, "SF", "XP", "HX", "DF"),
+			FlowSizes:  scenSizes(o),
+		},
+	}
+	ftBase := base
+	ftBase.Topology = scenTopo(o, "FT")
+	ftBase.Routing = "spray"
+	ftBase.Layers = 1
+	ftBase.Rho = 1
+	ft := &scenario.Matrix{
+		Name: "fig2-ndp-ft",
+		Base: ftBase,
+		Axes: scenario.Axes{FlowSizes: scenSizes(o)},
+	}
+	results, err := runMatrices(o, lowDiam, ft)
 	if err != nil {
 		return nil, err
 	}
@@ -108,52 +197,45 @@ func runFig2(o Options) (*stats.Table, error) {
 		Title:   "Fig 2: throughput per flow [MiB/s], randomized workload, NDP-style transport",
 		Headers: []string{"topology", "scheme", "flow KiB", "mean", "1% tail", "completed"},
 	}
-	horizon := 8 * netsim.Second
-	type cell struct {
-		scheme string
-		cfg    netsim.Config
-		fab    *core.Fabric
-		pat    traffic.Pattern
-		size   int64
-	}
-	var cells []cell
-	for _, name := range []string{"SF", "XP", "HX", "DF", "FT"} {
-		t := suite[name]
+	for _, r := range results {
 		scheme := "FatPaths"
-		cfg := netsim.NDPDefaults()
-		var fab *core.Fabric
-		if name == "FT" {
-			// Fat trees run the plain NDP design: per-packet spraying over
-			// minimal paths (Handley et al.), no layers.
+		if r.Spec.Routing == "spray" {
 			scheme = "NDP"
-			cfg.LB = netsim.LBPacketSpray
-			fab, err = core.Build(t, core.Config{NumLayers: 1, Rho: 1, Seed: o.Seed})
-		} else {
-			fab, err = core.Build(t, core.DefaultConfig(t))
 		}
-		if err != nil {
-			return nil, err
-		}
-		for _, size := range flowSizes(o) {
-			pat := traffic.RandomizeMapping(traffic.RandomUniform(rng, t.N()), rng)
-			cells = append(cells, cell{scheme, cfg, fab, pat, size})
-		}
-	}
-	if err := runCells(o, tab, len(cells), func(c *Cell) error {
-		cl := cells[c.Index]
-		res := runSeries(cl.fab, cl.cfg, cl.pat, cl.size, 300, horizon, c.Seed)
-		tp := netsim.SummarizeThroughput(res)
-		c.AddRowf(cl.fab.Topo.Name, cl.scheme, cl.size>>10, tp.Mean, tp.P01, fmtPct(netsim.CompletedFraction(res)))
-		return nil
-	}); err != nil {
-		return nil, err
+		tab.AddRowf(r.TopoName, scheme, r.Spec.FlowSize.Bytes>>10,
+			r.Throughput.Mean, r.Throughput.P01, fmtPct(r.Completed))
 	}
 	return tab, nil
 }
 
 func runFig11(o Options) (*stats.Table, error) {
-	rng := graph.NewRand(o.Seed)
-	suite, err := simSuite(o, rng)
+	// One matrix over (topology × scheme × size). The two schemes need
+	// different layer configurations, so the layers/rho axes carry both and
+	// skip constraints cut the cross product down to the two real series:
+	// FatPaths at the topology default (layers=0, rho=0) and the minimal
+	// NDP baseline on a single dense layer (layers=1, rho=1).
+	m := &scenario.Matrix{
+		Name: "fig11",
+		Base: scenario.Spec{
+			Pattern:   scenario.Pattern{Kind: "adversarial"},
+			Load:      300,
+			HorizonMs: 10000,
+		},
+		Axes: scenario.Axes{
+			Topologies: scenTopos(o, "SF", "XP", "HX", "DF", "FT"),
+			Routings:   []string{"fatpaths", "spray"},
+			Layers:     []int{0, 1},
+			Rhos:       []float64{0, 1},
+			FlowSizes:  scenSizes(o),
+		},
+		Skip: []scenario.Constraint{
+			{When: map[string]string{"routing": "fatpaths", "layers": "1"}},
+			{When: map[string]string{"routing": "fatpaths", "rho": "1"}},
+			{When: map[string]string{"routing": "spray", "layers": "0"}},
+			{When: map[string]string{"routing": "spray", "rho": "0"}},
+		},
+	}
+	results, err := runMatrices(o, m)
 	if err != nil {
 		return nil, err
 	}
@@ -161,43 +243,13 @@ func runFig11(o Options) (*stats.Table, error) {
 		Title:   "Fig 11: skewed adversarial (non-randomized) traffic, NDP-style transport",
 		Headers: []string{"topology", "scheme", "flow KiB", "mean MiB/s", "1% tail", "completed"},
 	}
-	horizon := 10 * netsim.Second
-	type cell struct {
-		name, scheme string
-		cfg          netsim.Config
-		fab          *core.Fabric
-		pat          traffic.Pattern
-		size         int64
-	}
-	var cells []cell
-	for _, name := range []string{"SF", "XP", "HX", "DF", "FT"} {
-		t := suite[name]
-		pat := traffic.AdversarialOffDiagonal(t)
-		for _, scheme := range []string{"FatPaths", "NDP-minimal"} {
-			cfg := netsim.NDPDefaults()
-			var fab *core.Fabric
-			if scheme == "FatPaths" {
-				fab, err = core.Build(t, core.DefaultConfig(t))
-			} else {
-				cfg.LB = netsim.LBPacketSpray
-				fab, err = core.Build(t, core.Config{NumLayers: 1, Rho: 1, Seed: o.Seed})
-			}
-			if err != nil {
-				return nil, err
-			}
-			for _, size := range flowSizes(o) {
-				cells = append(cells, cell{name, scheme, cfg, fab, pat, size})
-			}
+	for _, r := range results {
+		scheme := "FatPaths"
+		if r.Spec.Routing == "spray" {
+			scheme = "NDP-minimal"
 		}
-	}
-	if err := runCells(o, tab, len(cells), func(c *Cell) error {
-		cl := cells[c.Index]
-		res := runSeries(cl.fab, cl.cfg, cl.pat, cl.size, 300, horizon, c.Seed)
-		tp := netsim.SummarizeThroughput(res)
-		c.AddRowf(cl.fab.Topo.Name, cl.scheme, cl.size>>10, tp.Mean, tp.P01, fmtPct(netsim.CompletedFraction(res)))
-		return nil
-	}); err != nil {
-		return nil, err
+		tab.AddRowf(r.TopoName, scheme, r.Spec.FlowSize.Bytes>>10,
+			r.Throughput.Mean, r.Throughput.P01, fmtPct(r.Completed))
 	}
 	return tab, nil
 }
@@ -251,7 +303,10 @@ func runFig12(o Options) (*stats.Table, error) {
 		if err != nil {
 			return err
 		}
-		res := runSeries(fab, netsim.NDPDefaults(), cl.pat, 1<<20, 300, horizon, cl.simSeed)
+		res, err := runSeries(fab, netsim.NDPDefaults(), cl.pat, 1<<20, 300, horizon, cl.simSeed)
+		if err != nil {
+			return err
+		}
 		fct := netsim.SummarizeFCT(res)
 		c.AddRowf(cl.t.Kind, cl.n, cl.rho, fct.Mean, fct.P10, fct.P99, fmtPct(netsim.CompletedFraction(res)))
 		return nil
@@ -262,17 +317,23 @@ func runFig12(o Options) (*stats.Table, error) {
 }
 
 func runFig13(o Options) (*stats.Table, error) {
-	rng := graph.NewRand(o.Seed)
-	q := pick(o, 7, 13)
-	sf, err := topo.SlimFly(q, 0)
-	if err != nil {
-		return nil, err
+	m := &scenario.Matrix{
+		Name: "fig13",
+		Base: scenario.Spec{
+			Pattern:   scenario.Pattern{Kind: "uniform", Randomize: true},
+			FlowSize:  scenario.FlowSize{Bytes: 1 << 20},
+			Load:      300,
+			HorizonMs: 10000,
+		},
+		Axes: scenario.Axes{
+			Topologies: []scenario.Topology{
+				{Kind: "SF", Param: pick(o, 7, 13)},
+				{Kind: "JF", Param: pick(o, 7, 13)},
+				{Kind: "DF", Param: pick(o, 3, 5)},
+			},
+		},
 	}
-	sfjf, err := topo.EquivalentJellyfish(sf, rng)
-	if err != nil {
-		return nil, err
-	}
-	df, err := topo.Dragonfly(pick(o, 3, 5))
+	results, err := runMatrices(o, m)
 	if err != nil {
 		return nil, err
 	}
@@ -280,25 +341,8 @@ func runFig13(o Options) (*stats.Table, error) {
 		Title:   "Fig 13: larger networks, 1MiB flows (NDP mode)",
 		Headers: []string{"topology", "N", "mean MiB/s", "FCT p50 ms", "FCT p99 ms", "completed"},
 	}
-	horizon := 10 * netsim.Second
-	tops := []*topo.Topology{sf, sfjf, df}
-	pats := make([]traffic.Pattern, len(tops))
-	for i, t := range tops {
-		pats[i] = traffic.RandomizeMapping(traffic.RandomUniform(rng, t.N()), rng)
-	}
-	if err := runCells(o, tab, len(tops), func(c *Cell) error {
-		t := tops[c.Index]
-		fab, err := core.Build(t, core.DefaultConfig(t))
-		if err != nil {
-			return err
-		}
-		res := runSeries(fab, netsim.NDPDefaults(), pats[c.Index], 1<<20, 300, horizon, c.Seed)
-		tp := netsim.SummarizeThroughput(res)
-		fct := netsim.SummarizeFCT(res)
-		c.AddRowf(t.Name, t.N(), tp.Mean, fct.P50, fct.P99, fmtPct(netsim.CompletedFraction(res)))
-		return nil
-	}); err != nil {
-		return nil, err
+	for _, r := range results {
+		tab.AddRowf(r.TopoName, r.TopoN, r.Throughput.Mean, r.FCT.P50, r.FCT.P99, fmtPct(r.Completed))
 	}
 	return tab, nil
 }
@@ -353,7 +397,10 @@ func runFig14(o Options) (*stats.Table, error) {
 			// staggering would dissolve the path collisions the figure
 			// studies (the paper's N≈10k runs have enough concurrent
 			// flows for lambda=200 to keep collisions persistent).
-			res := runSeries(fab, cfg, pat, size, 0, horizon, c.Seed)
+			res, err := runSeries(fab, cfg, pat, size, 0, horizon, c.Seed)
+			if err != nil {
+				return err
+			}
 			fct := netsim.SummarizeFCT(res)
 			if s.name == "ECMP" {
 				base = fct
@@ -408,7 +455,10 @@ func runFig15(o Options) (*stats.Table, error) {
 		}
 		cfg := netsim.TCPDefaults(netsim.TransportTCP)
 		cfg.LB = s.lb
-		res := runSeries(fab, cfg, pat, 1<<20, lambda, horizon, simSeed)
+		res, err := runSeries(fab, cfg, pat, 1<<20, lambda, horizon, simSeed)
+		if err != nil {
+			return err
+		}
 		fct := netsim.SummarizeFCT(res)
 		c.AddRowf(s.name, fct.P10, fct.P50, fct.P90, fct.P99, fct.Mean)
 		return nil
@@ -446,7 +496,10 @@ func runFig16(o Options) (*stats.Table, error) {
 		}
 		cfg := netsim.TCPDefaults(netsim.TransportTCP)
 		// The rho sweep of one topology compares against the same workload.
-		res := runSeries(fab, cfg, pat, 1<<20, 200, horizon, sharedSeed(o, uint64(ti)))
+		res, err := runSeries(fab, cfg, pat, 1<<20, 200, horizon, sharedSeed(o, uint64(ti)))
+		if err != nil {
+			return err
+		}
 		fct := netsim.SummarizeFCT(res)
 		c.AddRowf(name, rho, fct.Mean, fct.P10, fct.P99)
 		return nil
@@ -531,7 +584,10 @@ func runFig20(o Options) (*stats.Table, error) {
 	if err := runCells(o, tab, len(lambdas), func(c *Cell) error {
 		cfg := netsim.TCPDefaults(netsim.TransportTCP)
 		cfg.LB = netsim.LBMinimalLayer
-		res := runSeries(fab, cfg, pats[c.Index], 2e6, lambdas[c.Index], 10*netsim.Second, c.Seed)
+		res, err := runSeries(fab, cfg, pats[c.Index], 2e6, lambdas[c.Index], 10*netsim.Second, c.Seed)
+		if err != nil {
+			return err
+		}
 		fct := netsim.SummarizeFCT(res)
 		c.AddRowf(lambdas[c.Index], fct.P10, fct.Mean, fct.P90, fmtPct(netsim.CompletedFraction(res)))
 		return nil
@@ -577,7 +633,10 @@ func runFig21(o Options) (*stats.Table, error) {
 		cl := cells[c.Index]
 		cfg := netsim.NDPDefaults()
 		cfg.LB = netsim.LBPacketSpray
-		res := runSeries(cl.fab, cfg, cl.pat, 256<<10, cl.l, 10*netsim.Second, c.Seed)
+		res, err := runSeries(cl.fab, cfg, cl.pat, 256<<10, cl.l, 10*netsim.Second, c.Seed)
+		if err != nil {
+			return err
+		}
 		fct := netsim.SummarizeFCT(res)
 		c.AddRowf(cl.fab.Topo.Kind, cl.l, fct.P10, fct.Mean, fct.P99, fmtPct(netsim.CompletedFraction(res)))
 		return nil
@@ -588,105 +647,89 @@ func runFig21(o Options) (*stats.Table, error) {
 }
 
 func runAblTransport(o Options) (*stats.Table, error) {
-	sf, err := topo.SlimFly(pick(o, 5, 11), 0)
+	m := &scenario.Matrix{
+		Name: "abl-transport",
+		Base: scenario.Spec{
+			Topology:  scenTopo(o, "SF"),
+			Pattern:   scenario.Pattern{Kind: "adversarial"},
+			FlowSize:  scenario.FlowSize{Bytes: 512 << 10},
+			HorizonMs: 10000,
+		},
+		Axes: scenario.Axes{Transports: []string{"ndp", "tcp"}},
+	}
+	results, err := runMatrices(o, m)
 	if err != nil {
 		return nil, err
 	}
-	fab, err := core.Build(sf, core.DefaultConfig(sf))
-	if err != nil {
-		return nil, err
-	}
-	pat := traffic.AdversarialOffDiagonal(sf)
 	tab := &stats.Table{
 		Title:   "Ablation: purified (NDP-style) transport vs TCP tail-drop, identical layers",
 		Headers: []string{"transport", "mean FCT ms", "p99 ms", "drops", "trims"},
 	}
-	modes := []string{"purified", "tcp"}
-	if err := runCells(o, tab, len(modes), func(c *Cell) error {
-		mode := modes[c.Index]
-		var cfg netsim.Config
-		if mode == "purified" {
-			cfg = netsim.NDPDefaults()
-		} else {
-			cfg = netsim.TCPDefaults(netsim.TransportTCP)
+	for _, r := range results {
+		label := "tcp"
+		if r.Spec.Transport == "ndp" {
+			label = "purified"
 		}
-		sim := fab.NewSimulation(cfg)
-		for _, fl := range pat.Flows {
-			sim.AddFlow(netsim.FlowSpec{Src: fl.Src, Dst: fl.Dst, Bytes: 512 << 10, Start: 0})
-		}
-		res := sim.Run(10 * netsim.Second)
-		fct := netsim.SummarizeFCT(res)
-		c.AddRowf(mode, fct.Mean, fct.P99, sim.Net.TotalDrops(), sim.Net.TotalTrims())
-		return nil
-	}); err != nil {
-		return nil, err
+		tab.AddRowf(label, r.FCT.Mean, r.FCT.P99, r.Drops, r.Trims)
 	}
 	return tab, nil
 }
 
 func runAblConstruction(o Options) (*stats.Table, error) {
-	rng := graph.NewRand(o.Seed)
-	sf, err := topo.SlimFly(pick(o, 5, 11), 0)
+	m := &scenario.Matrix{
+		Name: "abl-construction",
+		Base: scenario.Spec{
+			Topology:  scenTopo(o, "SF"),
+			Layers:    5,
+			Rho:       0.6,
+			Pattern:   scenario.Pattern{Kind: "worst-case", Intensity: 0.55},
+			FlowSize:  scenario.FlowSize{Bytes: 256 << 10},
+			HorizonMs: 8000,
+			MAT:       true,
+		},
+		Axes: scenario.Axes{Constructions: []string{"random", "min-interference"}},
+	}
+	results, err := runMatrices(o, m)
 	if err != nil {
 		return nil, err
 	}
-	pat := traffic.WorstCase(sf, 0.55, rng)
 	tab := &stats.Table{
 		Title:   "Ablation: layer construction scheme (MAT on worst-case pattern + sim FCT)",
 		Headers: []string{"scheme", "MAT T", "sim mean FCT ms"},
 	}
-	schemes := []core.LayerScheme{core.RandomSampling, core.MinInterference}
-	simSeed := sharedSeed(o, 0)
-	if err := runCells(o, tab, len(schemes), func(c *Cell) error {
-		scheme := schemes[c.Index]
-		fab, err := core.Build(sf, core.Config{NumLayers: 5, Rho: 0.6, Scheme: scheme, Seed: o.Seed})
-		if err != nil {
-			return err
-		}
-		mat, err := fab.MAT(pat, 0.12)
-		if err != nil {
-			return err
-		}
-		res := runSeries(fab, netsim.NDPDefaults(), pat, 256<<10, 0, 8*netsim.Second, simSeed)
-		fct := netsim.SummarizeFCT(res)
-		c.AddRowf(scheme.String(), mat, fct.Mean)
-		return nil
-	}); err != nil {
-		return nil, err
+	for _, r := range results {
+		tab.AddRowf(r.Spec.Construction, r.MAT, r.FCT.Mean)
 	}
 	return tab, nil
 }
 
 func runAblRandomization(o Options) (*stats.Table, error) {
-	rng := graph.NewRand(o.Seed)
-	sf, err := topo.SlimFly(pick(o, 5, 11), 0)
+	m := &scenario.Matrix{
+		Name: "abl-randomization",
+		Base: scenario.Spec{
+			Topology:  scenTopo(o, "SF"),
+			FlowSize:  scenario.FlowSize{Bytes: 512 << 10},
+			HorizonMs: 8000,
+		},
+		Axes: scenario.Axes{Patterns: []scenario.Pattern{
+			{Kind: "adversarial"},
+			{Kind: "adversarial", Randomize: true},
+		}},
+	}
+	results, err := runMatrices(o, m)
 	if err != nil {
 		return nil, err
 	}
-	fab, err := core.Build(sf, core.DefaultConfig(sf))
-	if err != nil {
-		return nil, err
-	}
-	skewed := traffic.AdversarialOffDiagonal(sf)
-	randomized := traffic.RandomizeMapping(skewed, rng)
 	tab := &stats.Table{
 		Title:   "Ablation: randomized workload mapping (§III-D)",
 		Headers: []string{"mapping", "mean MiB/s", "p99 FCT ms"},
 	}
-	pcs := []struct {
-		name string
-		pat  traffic.Pattern
-	}{{"skewed", skewed}, {"randomized", randomized}}
-	simSeed := sharedSeed(o, 0)
-	if err := runCells(o, tab, len(pcs), func(c *Cell) error {
-		pc := pcs[c.Index]
-		res := runSeries(fab, netsim.NDPDefaults(), pc.pat, 512<<10, 0, 8*netsim.Second, simSeed)
-		tp := netsim.SummarizeThroughput(res)
-		fct := netsim.SummarizeFCT(res)
-		c.AddRowf(pc.name, tp.Mean, fct.P99)
-		return nil
-	}); err != nil {
-		return nil, err
+	for _, r := range results {
+		mapping := "skewed"
+		if r.Spec.Pattern.Randomize {
+			mapping = "randomized"
+		}
+		tab.AddRowf(mapping, r.Throughput.Mean, r.FCT.P99)
 	}
 	return tab, nil
 }

@@ -17,6 +17,7 @@ package mcf
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/layers"
@@ -46,6 +47,15 @@ func CommoditiesFromPattern(t *topo.Topology, p traffic.Pattern) []Commodity {
 	for pr, d := range agg {
 		out = append(out, Commodity{Src: pr[0], Dst: pr[1], Demand: d})
 	}
+	// Canonical order: map iteration order would otherwise leak into the
+	// MAT solvers (commodity processing order in the approximate scheme,
+	// row order in the simplex) and make results vary run to run.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Dst < out[j].Dst
+	})
 	return out
 }
 
@@ -157,12 +167,19 @@ func PathMAT(ps PathSets, capacity float64) (float64, error) {
 		p.AddConstraint(idxs, coeffs, lp.EQ, 0)
 		varBase += len(paths)
 	}
-	for a, users := range arcUsers {
+	// Deterministic row order: sorted arcs, not map iteration order, so the
+	// simplex sees the identical tableau every run.
+	arcs := make([]int, 0, len(arcUsers))
+	for a := range arcUsers {
+		arcs = append(arcs, a)
+	}
+	sort.Ints(arcs)
+	for _, a := range arcs {
+		users := arcUsers[a]
 		coeffs := make([]float64, len(users))
 		for i := range coeffs {
 			coeffs[i] = 1
 		}
-		_ = a
 		p.AddConstraint(users, coeffs, lp.LE, capacity)
 	}
 	_, obj, err := p.Solve()

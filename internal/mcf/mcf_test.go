@@ -18,6 +18,36 @@ func ring(n int) *graph.Graph {
 	return g
 }
 
+// TestCommoditiesDeterministic: the commodity list must come out in a
+// canonical order (map iteration order leaked into the MAT solvers before;
+// the golden-table harness caught approximate-MAT results varying run to
+// run).
+func TestCommoditiesDeterministic(t *testing.T) {
+	sf, err := topo.SlimFly(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat := traffic.RandomUniform(graph.NewRand(3), sf.N())
+	first := CommoditiesFromPattern(sf, pat)
+	for trial := 0; trial < 5; trial++ {
+		again := CommoditiesFromPattern(sf, pat)
+		if len(again) != len(first) {
+			t.Fatalf("commodity count changed: %d vs %d", len(again), len(first))
+		}
+		for i := range first {
+			if first[i] != again[i] {
+				t.Fatalf("commodity order not deterministic at %d: %v vs %v", i, first[i], again[i])
+			}
+		}
+	}
+	for i := 1; i < len(first); i++ {
+		if first[i].Src < first[i-1].Src ||
+			(first[i].Src == first[i-1].Src && first[i].Dst <= first[i-1].Dst) {
+			t.Fatalf("commodities not in canonical (Src, Dst) order at %d: %v after %v", i, first[i], first[i-1])
+		}
+	}
+}
+
 func TestGeneralMATRing(t *testing.T) {
 	// C4, one commodity 0->2, demand 1: two arc-disjoint 2-hop paths,
 	// capacity 1 each -> T = 2.

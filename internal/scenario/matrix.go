@@ -1,0 +1,273 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Axes lists the swept values per axis. An empty axis keeps the Base
+// spec's value; a non-empty axis overrides it per cell. Axis values must
+// be pairwise distinct (duplicates would silently duplicate cells).
+type Axes struct {
+	Topologies    []Topology `json:"topologies,omitempty"`
+	Patterns      []Pattern  `json:"patterns,omitempty"`
+	Routings      []string   `json:"routings,omitempty"`
+	Transports    []string   `json:"transports,omitempty"`
+	Layers        []int      `json:"layers,omitempty"`
+	Rhos          []float64  `json:"rhos,omitempty"`
+	Constructions []string   `json:"constructions,omitempty"`
+	FlowSizes     []FlowSize `json:"flowSizes,omitempty"`
+	Loads         []float64  `json:"loads,omitempty"`
+	FailFracs     []float64  `json:"failFracs,omitempty"`
+}
+
+// Constraint skips every cell whose rendered axis values match all entries
+// of When. Keys are axis names (topology, pattern, routing, transport,
+// layers, rho, construction, flowSize, load, failFrac); values are the
+// canonical renderings produced by AxisValue.
+type Constraint struct {
+	When map[string]string `json:"when"`
+}
+
+// Matrix is a declarative sweep: a base spec, per-axis value lists, and
+// skip constraints cutting the cross product.
+type Matrix struct {
+	Name string       `json:"name,omitempty"`
+	Base Spec         `json:"base"`
+	Axes Axes         `json:"axes"`
+	Skip []Constraint `json:"skip,omitempty"`
+}
+
+// axisNames is the fixed nesting order of expansion, outermost first. Cell
+// order is the row order of every scenario table.
+var axisNames = []string{
+	"topology", "pattern", "routing", "transport", "layers", "rho",
+	"construction", "flowSize", "load", "failFrac",
+}
+
+// AxisNames returns the matrix axis names in their fixed nesting order
+// (outermost first) — the one list constraint keys and cell renderings are
+// defined over.
+func AxisNames() []string {
+	return append([]string(nil), axisNames...)
+}
+
+// AxisValue renders one axis of a spec to its canonical constraint-matching
+// string: topology → kind, pattern → kind (plus "+rand"), flowSize → byte
+// count or "pfabric", numeric axes → %g, scheme axes → resolved name.
+func AxisValue(s Spec, axis string) (string, error) {
+	switch axis {
+	case "topology":
+		return s.Topology.Kind, nil
+	case "pattern":
+		return s.Pattern.label(), nil
+	case "routing":
+		return s.routing(), nil
+	case "transport":
+		return s.transport(), nil
+	case "layers":
+		return strconv.Itoa(s.Layers), nil
+	case "rho":
+		return strconv.FormatFloat(s.Rho, 'g', -1, 64), nil
+	case "construction":
+		return s.construction(), nil
+	case "flowSize":
+		return s.FlowSize.label(), nil
+	case "load":
+		return strconv.FormatFloat(s.Load, 'g', -1, 64), nil
+	case "failFrac":
+		return strconv.FormatFloat(s.FailFrac, 'g', -1, 64), nil
+	}
+	return "", fmt.Errorf("scenario: unknown axis %q (have %v)", axis, axisNames)
+}
+
+// skipped reports whether any constraint matches the cell.
+func (m *Matrix) skipped(s Spec) (bool, error) {
+	for _, c := range m.Skip {
+		match := true
+		for axis, want := range c.When {
+			got, err := AxisValue(s, axis)
+			if err != nil {
+				return false, err
+			}
+			if got != want {
+				match = false
+				break
+			}
+		}
+		if match && len(c.When) > 0 {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// validateAxes rejects duplicate values within an axis and invalid
+// constraint shapes up front, so Expand failures carry useful messages.
+func (m *Matrix) validate() error {
+	seen := func(axis string, n int, key func(i int) string) error {
+		set := make(map[string]bool, n)
+		for i := 0; i < n; i++ {
+			k := key(i)
+			if set[k] {
+				return fmt.Errorf("scenario: matrix %q: duplicate %s axis value %s", m.Name, axis, k)
+			}
+			set[k] = true
+		}
+		return nil
+	}
+	ax := &m.Axes
+	if err := seen("topology", len(ax.Topologies), func(i int) string { return ax.Topologies[i].key() }); err != nil {
+		return err
+	}
+	if err := seen("pattern", len(ax.Patterns), func(i int) string { return ax.Patterns[i].key() }); err != nil {
+		return err
+	}
+	if err := seen("routing", len(ax.Routings), func(i int) string { return ax.Routings[i] }); err != nil {
+		return err
+	}
+	if err := seen("transport", len(ax.Transports), func(i int) string { return ax.Transports[i] }); err != nil {
+		return err
+	}
+	if err := seen("layers", len(ax.Layers), func(i int) string { return strconv.Itoa(ax.Layers[i]) }); err != nil {
+		return err
+	}
+	if err := seen("rho", len(ax.Rhos), func(i int) string { return strconv.FormatFloat(ax.Rhos[i], 'g', -1, 64) }); err != nil {
+		return err
+	}
+	if err := seen("construction", len(ax.Constructions), func(i int) string { return ax.Constructions[i] }); err != nil {
+		return err
+	}
+	if err := seen("flowSize", len(ax.FlowSizes), func(i int) string { return ax.FlowSizes[i].key() }); err != nil {
+		return err
+	}
+	if err := seen("load", len(ax.Loads), func(i int) string { return strconv.FormatFloat(ax.Loads[i], 'g', -1, 64) }); err != nil {
+		return err
+	}
+	if err := seen("failFrac", len(ax.FailFracs), func(i int) string { return strconv.FormatFloat(ax.FailFracs[i], 'g', -1, 64) }); err != nil {
+		return err
+	}
+	for _, c := range m.Skip {
+		if len(c.When) == 0 {
+			return fmt.Errorf("scenario: matrix %q: empty skip constraint", m.Name)
+		}
+		for axis := range c.When {
+			if _, err := AxisValue(m.Base, axis); err != nil {
+				return fmt.Errorf("scenario: matrix %q: %w", m.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Size returns the unfiltered cross-product size of the matrix.
+func (m *Matrix) Size() int {
+	n := 1
+	for _, l := range []int{
+		len(m.Axes.Topologies), len(m.Axes.Patterns), len(m.Axes.Routings),
+		len(m.Axes.Transports), len(m.Axes.Layers), len(m.Axes.Rhos),
+		len(m.Axes.Constructions), len(m.Axes.FlowSizes), len(m.Axes.Loads),
+		len(m.Axes.FailFracs),
+	} {
+		if l > 0 {
+			n *= l
+		}
+	}
+	return n
+}
+
+// Expand compiles the matrix into concrete, validated cells in the fixed
+// nesting order of axisNames and reports how many cross-product cells the
+// skip constraints filtered. Expansion is a pure function of the matrix:
+// the same matrix always yields the same cells in the same order.
+func (m *Matrix) Expand() (cells []Spec, filtered int, err error) {
+	if err := m.validate(); err != nil {
+		return nil, 0, err
+	}
+	// Each axis contributes its override list, or the single base value.
+	tops := m.Axes.Topologies
+	if len(tops) == 0 {
+		tops = []Topology{m.Base.Topology}
+	}
+	pats := m.Axes.Patterns
+	if len(pats) == 0 {
+		pats = []Pattern{m.Base.Pattern}
+	}
+	routings := m.Axes.Routings
+	if len(routings) == 0 {
+		routings = []string{m.Base.Routing}
+	}
+	transports := m.Axes.Transports
+	if len(transports) == 0 {
+		transports = []string{m.Base.Transport}
+	}
+	layerCounts := m.Axes.Layers
+	if len(layerCounts) == 0 {
+		layerCounts = []int{m.Base.Layers}
+	}
+	rhos := m.Axes.Rhos
+	if len(rhos) == 0 {
+		rhos = []float64{m.Base.Rho}
+	}
+	constrs := m.Axes.Constructions
+	if len(constrs) == 0 {
+		constrs = []string{m.Base.Construction}
+	}
+	sizes := m.Axes.FlowSizes
+	if len(sizes) == 0 {
+		sizes = []FlowSize{m.Base.FlowSize}
+	}
+	loads := m.Axes.Loads
+	if len(loads) == 0 {
+		loads = []float64{m.Base.Load}
+	}
+	fails := m.Axes.FailFracs
+	if len(fails) == 0 {
+		fails = []float64{m.Base.FailFrac}
+	}
+
+	for _, tp := range tops {
+		for _, pt := range pats {
+			for _, rt := range routings {
+				for _, tr := range transports {
+					for _, n := range layerCounts {
+						for _, rho := range rhos {
+							for _, cs := range constrs {
+								for _, fs := range sizes {
+									for _, load := range loads {
+										for _, ff := range fails {
+											s := m.Base
+											s.Topology = tp
+											s.Pattern = pt
+											s.Routing = rt
+											s.Transport = tr
+											s.Layers = n
+											s.Rho = rho
+											s.Construction = cs
+											s.FlowSize = fs
+											s.Load = load
+											s.FailFrac = ff
+											skip, err := m.skipped(s)
+											if err != nil {
+												return nil, 0, err
+											}
+											if skip {
+												filtered++
+												continue
+											}
+											if err := s.Validate(); err != nil {
+												return nil, 0, fmt.Errorf("matrix %q cell %d: %w", m.Name, len(cells), err)
+											}
+											cells = append(cells, s)
+										}
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return cells, filtered, nil
+}

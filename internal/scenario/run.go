@@ -1,0 +1,342 @@
+package scenario
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/netsim"
+	"repro/internal/stats"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// RunOptions control scenario execution. The zero value runs serially at
+// seed 0.
+type RunOptions struct {
+	// Seed drives all randomness; a cell's non-zero Spec.Seed overrides it
+	// for that cell only.
+	Seed int64
+	// Parallelism is the worker count fanning cells out (0 = all cores,
+	// 1 = serial). Results are byte-identical for every value.
+	Parallelism int
+	// Progress, when non-nil, is called after each completed cell with the
+	// completed and total cell counts (invocations are serialized).
+	Progress func(done, total int)
+}
+
+func (o RunOptions) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// CellResult is the measured outcome of one scenario cell.
+type CellResult struct {
+	Spec Spec `json:"spec"`
+	// TopoName/TopoN describe the built topology (e.g. "SF(q=5,p=8)").
+	TopoName string `json:"topoName"`
+	TopoN    int    `json:"topoN"`
+	// Layers/Rho are the resolved routing configuration (after topology
+	// defaults were applied).
+	Layers int     `json:"layers"`
+	Rho    float64 `json:"rho"`
+	// Flows is the total simulated flow count over all replicas.
+	Flows int `json:"flows"`
+	// Completed is the fraction of flows finishing within the horizon.
+	Completed float64 `json:"completed"`
+	// Throughput digests completed-flow goodput in MiB/s.
+	Throughput stats.Summary `json:"throughput"`
+	// FCT digests completed-flow completion times in milliseconds.
+	FCT stats.Summary `json:"fct"`
+	// Drops/Trims sum packet drops and NDP trims over all replicas.
+	Drops int64 `json:"drops"`
+	Trims int64 `json:"trims"`
+	// FailedLinks is the number of links failed per replica.
+	FailedLinks int `json:"failedLinks,omitempty"`
+	// MAT is the maximum achievable throughput (only when Spec.MAT).
+	MAT float64 `json:"mat,omitempty"`
+}
+
+// seedFor folds a run seed with a resource tag, partitioning the seed space
+// by the canonical identity of the resource. Cells agreeing on a tag agree
+// on the derived seed regardless of cell index, worker count, or which
+// matrix produced them.
+func seedFor(runSeed int64, tag string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(tag))
+	return exec.FoldSeed(runSeed, h.Sum64())
+}
+
+// caches dedupes topology and fabric construction across the cells of one
+// run. Entries build once under a per-key once; the routing engine inside a
+// fabric is safe for concurrent simulations, so cells share freely.
+type caches struct {
+	mu   sync.Mutex
+	topo map[string]*topoEntry
+	fab  map[string]*fabEntry
+}
+
+type topoEntry struct {
+	once sync.Once
+	t    *topo.Topology
+	err  error
+}
+
+type fabEntry struct {
+	once sync.Once
+	fab  *core.Fabric
+	err  error
+}
+
+func newCaches() *caches {
+	return &caches{topo: map[string]*topoEntry{}, fab: map[string]*fabEntry{}}
+}
+
+func (c *caches) topology(key string, ts Topology, seed int64) (*topo.Topology, error) {
+	c.mu.Lock()
+	e, ok := c.topo[key]
+	if !ok {
+		e = &topoEntry{}
+		c.topo[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.t, e.err = ts.build(seed) })
+	return e.t, e.err
+}
+
+func (c *caches) fabric(key string, build func() (*core.Fabric, error)) (*core.Fabric, error) {
+	c.mu.Lock()
+	e, ok := c.fab[key]
+	if !ok {
+		e = &fabEntry{}
+		c.fab[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.fab, e.err = build() })
+	return e.fab, e.err
+}
+
+// simConfig maps the spec's transport and routing names onto a netsim
+// configuration.
+func simConfig(s Spec) (netsim.Config, error) {
+	var cfg netsim.Config
+	switch s.transport() {
+	case "ndp":
+		cfg = netsim.NDPDefaults()
+	case "tcp":
+		cfg = netsim.TCPDefaults(netsim.TransportTCP)
+	case "dctcp":
+		cfg = netsim.TCPDefaults(netsim.TransportDCTCP)
+	case "mptcp":
+		cfg = netsim.TCPDefaults(netsim.TransportMPTCP)
+	default:
+		return cfg, fmt.Errorf("scenario: unknown transport %q", s.Transport)
+	}
+	switch s.routing() {
+	case "fatpaths":
+		cfg.LB = netsim.LBFatPaths
+	case "ecmp":
+		cfg.LB = netsim.LBECMP
+	case "letflow":
+		cfg.LB = netsim.LBLetFlow
+	case "minimal":
+		cfg.LB = netsim.LBMinimalLayer
+	case "spray":
+		cfg.LB = netsim.LBPacketSpray
+	default:
+		return cfg, fmt.Errorf("scenario: unknown routing %q", s.Routing)
+	}
+	return cfg, nil
+}
+
+// coreConfig resolves the layer configuration against topology defaults.
+func coreConfig(s Spec, t *topo.Topology, layerSeed int64) core.Config {
+	cc := core.DefaultConfig(t)
+	if s.Layers > 0 {
+		cc.NumLayers = s.Layers
+	}
+	if s.Rho > 0 {
+		cc.Rho = s.Rho
+	}
+	cc.Scheme = constructions[s.Construction]
+	cc.Seed = layerSeed
+	return cc
+}
+
+// runCell executes one cell: build (or fetch) the fabric, compile and
+// validate the pattern, then simulate Replicas times and aggregate.
+func runCell(s Spec, cc *caches, runSeed int64) (CellResult, error) {
+	if s.Seed != 0 {
+		runSeed = s.Seed
+	}
+	if err := s.Validate(); err != nil {
+		return CellResult{}, err
+	}
+	// Cache keys carry the effective run seed: cells overriding Spec.Seed
+	// must not share artifacts with (or race against) cells building the
+	// same topology or fabric from a different seed.
+	seedKey := fmt.Sprintf("%d|", runSeed)
+	t, err := cc.topology(seedKey+s.Topology.key(), s.Topology, seedFor(runSeed, "topo|"+s.Topology.key()))
+	if err != nil {
+		return CellResult{}, err
+	}
+	layerSeed := seedFor(runSeed, "layers|"+s.routingKey())
+	conf := coreConfig(s, t, layerSeed)
+	fab, err := cc.fabric(seedKey+s.routingKey(), func() (*core.Fabric, error) {
+		return core.Build(t, conf)
+	})
+	if err != nil {
+		return CellResult{}, err
+	}
+	pat, err := s.Pattern.build(t, seedFor(runSeed, "pattern|"+s.Topology.key()+"|"+s.Pattern.key()))
+	if err != nil {
+		return CellResult{}, err
+	}
+	if err := pat.ValidateFlows(); err != nil {
+		return CellResult{}, fmt.Errorf("scenario: compiled pattern invalid: %w", err)
+	}
+
+	cfg, err := simConfig(s)
+	if err != nil {
+		return CellResult{}, err
+	}
+	horizon := netsim.Time(s.horizonMs() * 1e6)
+	workloadSeed := seedFor(runSeed, "workload|"+s.workloadKey())
+	failSeed := seedFor(runSeed, "fail|"+s.Topology.key()+"|"+AxisValueMust(s, "failFrac"))
+	nFail := int(s.FailFrac * float64(t.G.M()))
+	sizeOf := s.FlowSize.sampler()
+
+	res := CellResult{
+		Spec: s, TopoName: t.Name, TopoN: t.N(),
+		Layers: conf.NumLayers, Rho: conf.Rho, FailedLinks: nFail,
+	}
+	var thr, fct stats.Sample
+	done := 0
+	for rep := 0; rep < s.replicas(); rep++ {
+		sim := fab.NewSimulation(cfg)
+		if nFail > 0 {
+			sim.Net.FailRandomLinks(nFail, graph.NewRand(exec.FoldSeed(failSeed, uint64(rep))))
+		}
+		// Flow starts and sizes replay core.RunWorkload's drawing order so a
+		// scenario cell and a hand-rolled workload at the same seed agree.
+		rng := graph.NewRand(exec.FoldSeed(workloadSeed, uint64(rep)))
+		for _, fl := range pat.Flows {
+			var start netsim.Time
+			if s.Load > 0 {
+				start = netsim.Time(traffic.ExpInterarrival(rng, s.Load) * 1e9)
+			}
+			sim.AddFlow(netsim.FlowSpec{Src: fl.Src, Dst: fl.Dst, Bytes: sizeOf(rng), Start: start})
+		}
+		frs := sim.Run(horizon)
+		res.Flows += len(frs)
+		for _, fr := range frs {
+			if fr.Done {
+				done++
+				thr.Add(fr.ThroughputMiBs())
+				fct.Add(fr.FCT().Seconds() * 1e3)
+			}
+		}
+		res.Drops += sim.Net.TotalDrops()
+		res.Trims += sim.Net.TotalTrims()
+	}
+	if res.Flows > 0 {
+		res.Completed = float64(done) / float64(res.Flows)
+	}
+	res.Throughput = thr.Summarize()
+	res.FCT = fct.Summarize()
+	if s.MAT {
+		mat, err := fab.MAT(pat, 0.12)
+		if err != nil {
+			return CellResult{}, fmt.Errorf("scenario: MAT: %w", err)
+		}
+		res.MAT = mat
+	}
+	return res, nil
+}
+
+// AxisValueMust is AxisValue for axes known statically valid.
+func AxisValueMust(s Spec, axis string) string {
+	v, err := AxisValue(s, axis)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// RunSpecs executes concrete cells over the parallel runtime and returns
+// their results in cell order. Output is byte-identical for every
+// Parallelism value: each cell's randomness derives from (seed, canonical
+// resource keys) alone, and shared fabrics are pure functions of their
+// keys.
+func RunSpecs(cells []Spec, o RunOptions) ([]CellResult, error) {
+	cc := newCaches()
+	var mu sync.Mutex
+	done := 0
+	return exec.ParallelMap(o.workers(), len(cells), func(i int) (CellResult, error) {
+		r, err := runCell(cells[i], cc, o.Seed)
+		if err != nil {
+			return CellResult{}, fmt.Errorf("cell %d: %w", i, err)
+		}
+		if o.Progress != nil {
+			mu.Lock()
+			done++
+			o.Progress(done, len(cells))
+			mu.Unlock()
+		}
+		return r, nil
+	})
+}
+
+// Run expands the matrix and executes every cell.
+func Run(m *Matrix, o RunOptions) ([]CellResult, error) {
+	cells, _, err := m.Expand()
+	if err != nil {
+		return nil, err
+	}
+	return RunSpecs(cells, o)
+}
+
+// Table renders results as the canonical scenario table. A MAT column
+// appears iff any cell requested it.
+func Table(title string, results []CellResult) *stats.Table {
+	withMAT := false
+	for _, r := range results {
+		if r.Spec.MAT {
+			withMAT = true
+			break
+		}
+	}
+	tab := &stats.Table{
+		Title: title,
+		Headers: []string{
+			"topology", "N", "n", "rho", "constr", "routing", "transport",
+			"pattern", "size", "load", "fail", "flows", "completed",
+			"thr MiB/s", "thr p1", "FCT ms", "FCT p50", "FCT p99",
+			"drops", "trims",
+		},
+	}
+	if withMAT {
+		tab.Headers = append(tab.Headers, "MAT")
+	}
+	for _, r := range results {
+		row := []interface{}{
+			r.TopoName, r.TopoN, r.Layers, r.Rho, r.Spec.construction(),
+			r.Spec.routing(), r.Spec.transport(), r.Spec.Pattern.label(),
+			r.Spec.FlowSize.label(), r.Spec.Load, r.Spec.FailFrac, r.Flows,
+			fmt.Sprintf("%.1f%%", 100*r.Completed),
+			r.Throughput.Mean, r.Throughput.P01,
+			r.FCT.Mean, r.FCT.P50, r.FCT.P99, r.Drops, r.Trims,
+		}
+		if withMAT {
+			row = append(row, r.MAT)
+		}
+		tab.AddRowf(row...)
+	}
+	return tab
+}

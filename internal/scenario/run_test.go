@@ -1,0 +1,187 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyMatrix is a fast multi-axis matrix on the smallest Slim Fly.
+func tinyMatrix() *Matrix {
+	return &Matrix{
+		Name: "tiny",
+		Base: Spec{
+			Topology:  Topology{Kind: "SF", Param: 3},
+			Pattern:   Pattern{Kind: "uniform"},
+			FlowSize:  FlowSize{Bytes: 32 << 10},
+			HorizonMs: 1000,
+		},
+		Axes: Axes{
+			Routings:  []string{"fatpaths", "minimal"},
+			FailFracs: []float64{0, 0.1},
+		},
+	}
+}
+
+// TestRunDeterministicAcrossParallelism: the rendered scenario table is
+// byte-identical at Parallelism 1 and 8 for the same seed.
+func TestRunDeterministicAcrossParallelism(t *testing.T) {
+	serial, err := Run(tinyMatrix(), RunOptions{Seed: 7, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(tinyMatrix(), RunOptions{Seed: 7, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, p := Table("t", serial).String(), Table("t", par).String()
+	if s != p {
+		t.Fatalf("parallel differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", s, p)
+	}
+	if len(serial) != 4 {
+		t.Fatalf("expected 4 cells, got %d", len(serial))
+	}
+	for _, r := range serial {
+		if r.Flows == 0 {
+			t.Fatalf("cell %+v simulated no flows", r.Spec)
+		}
+	}
+}
+
+// TestRunSeedChangesResults: a different run seed changes the workload.
+func TestRunSeedChangesResults(t *testing.T) {
+	a, err := Run(tinyMatrix(), RunOptions{Seed: 1, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(tinyMatrix(), RunOptions{Seed: 2, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Table("t", a).String() == Table("t", b).String() {
+		t.Fatal("distinct seeds produced identical tables")
+	}
+}
+
+// TestReplicasAggregate: replicas multiply the simulated flow count and
+// keep determinism.
+func TestReplicasAggregate(t *testing.T) {
+	one := Spec{
+		Topology:  Topology{Kind: "SF", Param: 3},
+		Pattern:   Pattern{Kind: "permutation"},
+		FlowSize:  FlowSize{Bytes: 32 << 10},
+		HorizonMs: 1000,
+	}
+	three := one
+	three.Replicas = 3
+	rs, err := RunSpecs([]Spec{one, three}, RunOptions{Seed: 5, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[1].Flows != 3*rs[0].Flows {
+		t.Fatalf("3 replicas simulated %d flows, want 3×%d", rs[1].Flows, rs[0].Flows)
+	}
+}
+
+// TestSpecSeedOverride: a cell's Spec.Seed must take effect even when
+// another cell in the batch shares its topology and routing keys, and the
+// batch must stay deterministic across worker counts.
+func TestSpecSeedOverride(t *testing.T) {
+	base := Spec{
+		Topology:  Topology{Kind: "XP", Param: 4}, // randomized construction
+		Pattern:   Pattern{Kind: "permutation"},
+		FlowSize:  FlowSize{Bytes: 32 << 10},
+		HorizonMs: 1000,
+	}
+	override := base
+	override.Seed = 1234
+	cells := []Spec{base, override}
+	serial, err := RunSpecs(cells, RunOptions{Seed: 7, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Table("t", serial[:1]).String() == Table("t", serial[1:]).String() {
+		t.Fatal("Spec.Seed override had no effect next to a same-key cell")
+	}
+	par, err := RunSpecs(cells, RunOptions{Seed: 7, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Table("t", serial).String() != Table("t", par).String() {
+		t.Fatal("mixed-seed batch not deterministic across worker counts")
+	}
+}
+
+// TestFailureModel: FailFrac fails the expected link count and the failed
+// set is identical across cells sharing (topology, failFrac).
+func TestFailureModel(t *testing.T) {
+	rs, err := Run(tinyMatrix(), RunOptions{Seed: 3, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if r.Spec.FailFrac == 0 && r.FailedLinks != 0 {
+			t.Fatalf("failFrac 0 failed %d links", r.FailedLinks)
+		}
+		if r.Spec.FailFrac > 0 && r.FailedLinks == 0 {
+			t.Fatalf("failFrac %g failed no links", r.Spec.FailFrac)
+		}
+	}
+}
+
+// TestMAT: the MAT option computes a positive throughput bound.
+func TestMAT(t *testing.T) {
+	s := Spec{
+		Topology:  Topology{Kind: "SF", Param: 3},
+		Layers:    3,
+		Rho:       0.6,
+		Pattern:   Pattern{Kind: "worst-case", Intensity: 1},
+		FlowSize:  FlowSize{Bytes: 32 << 10},
+		HorizonMs: 500,
+		MAT:       true,
+	}
+	rs, err := RunSpecs([]Spec{s}, RunOptions{Seed: 1, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].MAT <= 0 {
+		t.Fatalf("MAT = %g, want > 0", rs[0].MAT)
+	}
+	if tab := Table("t", rs); !strings.Contains(tab.Headers[len(tab.Headers)-1], "MAT") {
+		t.Fatal("MAT column missing from table")
+	}
+}
+
+// TestInvalidSpecRejected: RunSpecs surfaces validation errors with the
+// failing cell index.
+func TestInvalidSpecRejected(t *testing.T) {
+	bad := Spec{Topology: Topology{Kind: "SF", Param: 3}, Pattern: Pattern{Kind: "zipf"}}
+	_, err := RunSpecs([]Spec{bad}, RunOptions{Parallelism: 1})
+	if err == nil || !strings.Contains(err.Error(), "cell 0") || !strings.Contains(err.Error(), "zipf") {
+		t.Fatalf("invalid spec must fail with cell index and cause, got %v", err)
+	}
+}
+
+// TestAllPatternKindsCompile: every pattern kind builds and validates on a
+// real topology (the compiled-pattern ValidateFlows gate stays green).
+func TestAllPatternKindsCompile(t *testing.T) {
+	topoSpec := Topology{Kind: "SF", Param: 3}
+	tp, err := topoSpec.build(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []Pattern{
+		{Kind: "uniform"}, {Kind: "permutation"}, {Kind: "k-permutations", K: 2},
+		{Kind: "off-diagonal", Offset: 3}, {Kind: "shuffle"}, {Kind: "stencil"},
+		{Kind: "adversarial"}, {Kind: "worst-case", Intensity: 0.7},
+		{Kind: "uniform", Randomize: true, Intensity: 0.5},
+	}
+	for _, ps := range kinds {
+		pat, err := ps.build(tp, 9)
+		if err != nil {
+			t.Fatalf("%s: %v", ps.Kind, err)
+		}
+		if err := pat.ValidateFlows(); err != nil {
+			t.Fatalf("%s: compiled pattern invalid: %v", ps.Kind, err)
+		}
+	}
+}

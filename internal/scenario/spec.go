@@ -1,0 +1,430 @@
+// Package scenario is the declarative workload layer of the evaluation
+// harness. A Spec names one simulated cell of the paper's cross-product —
+// topology × routing layers × routing scheme × transport × traffic pattern
+// × flow-size distribution × load level × failure model — and a Matrix
+// sweeps lists per axis (with skip constraints) into concrete cells. Cells
+// run over the parallel experiment runtime (internal/exec) with the
+// established seed-folding discipline: every random choice derives from a
+// seed folded out of the run seed and the canonical key of the resource it
+// belongs to, so results are byte-identical for any worker count, any cell
+// order, and any matrix slicing. Cells that agree on the workload-defining
+// axes (topology, pattern, flow size, load) automatically face the
+// identical workload, the discipline the paper's sweep figures rely on.
+//
+// Specs round-trip through JSON; cmd/scenarios runs spec files from disk
+// (examples under examples/scenarios/), and the migrated experiment
+// runners (fig2, fig11, fig13, abl-*) are thin matrices over this package.
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// Topology selects a topology family, either at a named size class
+// ("small", "medium" — the classes of topo.BuildSuite) or at an explicit
+// family-specific size parameter.
+type Topology struct {
+	// Kind is the family tag: SF, DF, HX, XP, FT3 (alias FT), JF, Clique,
+	// Star.
+	Kind string `json:"kind"`
+	// Class selects a topo.SizeClass when Param is 0: "small" (default) or
+	// "medium".
+	Class string `json:"class,omitempty"`
+	// Param, when positive, sizes the family directly instead of Class:
+	// SF/JF q, DF p, HX S, XP k', FT3 m, Clique k', Star n.
+	Param int `json:"param,omitempty"`
+	// Param2 is the secondary parameter used with Param: SF p (0 = paper
+	// default), HX L (0 = 3), XP lift (0 = Param), FT3 o (0 = 2),
+	// Clique p (0 = k').
+	Param2 int `json:"param2,omitempty"`
+}
+
+// key is the canonical identity of the topology spec; equal keys mean
+// identical built topologies at a fixed run seed.
+func (ts Topology) key() string {
+	return fmt.Sprintf("%s/%s/%d/%d", ts.Kind, ts.class(), ts.Param, ts.Param2)
+}
+
+func (ts Topology) class() string {
+	if ts.Class == "" {
+		return "small"
+	}
+	return ts.Class
+}
+
+func (ts Topology) sizeClass() (topo.SizeClass, error) {
+	switch ts.class() {
+	case "small":
+		return topo.Small, nil
+	case "medium":
+		return topo.Medium, nil
+	}
+	return 0, fmt.Errorf("scenario: unknown topology class %q (want small or medium)", ts.Class)
+}
+
+func (ts Topology) validate() error {
+	switch ts.Kind {
+	case "SF", "DF", "HX", "XP", "FT3", "FT", "JF", "Clique", "Star":
+	default:
+		return fmt.Errorf("scenario: unknown topology kind %q", ts.Kind)
+	}
+	if _, err := ts.sizeClass(); err != nil {
+		return err
+	}
+	if ts.Param < 0 || ts.Param2 < 0 {
+		return fmt.Errorf("scenario: topology %s: negative size parameter", ts.Kind)
+	}
+	return nil
+}
+
+// build constructs the topology. All randomness (XP lifts, JF wiring)
+// derives from seed, so equal specs build identical topologies.
+func (ts Topology) build(seed int64) (*topo.Topology, error) {
+	rng := rand.New(rand.NewSource(seed))
+	if ts.Param == 0 {
+		class, err := ts.sizeClass()
+		if err != nil {
+			return nil, err
+		}
+		return topo.ByName(ts.Kind, class, rng)
+	}
+	switch ts.Kind {
+	case "SF":
+		return topo.SlimFly(ts.Param, ts.Param2)
+	case "JF":
+		sf, err := topo.SlimFly(ts.Param, ts.Param2)
+		if err != nil {
+			return nil, err
+		}
+		return topo.EquivalentJellyfish(sf, rng)
+	case "DF":
+		return topo.Dragonfly(ts.Param)
+	case "HX":
+		l := ts.Param2
+		if l == 0 {
+			l = 3
+		}
+		return topo.HyperX(l, ts.Param, 0)
+	case "XP":
+		lift := ts.Param2
+		if lift == 0 {
+			lift = ts.Param
+		}
+		return topo.Xpander(ts.Param, lift, 0, rng)
+	case "FT3", "FT":
+		o := ts.Param2
+		if o == 0 {
+			o = 2
+		}
+		return topo.FatTree3(ts.Param, o)
+	case "Clique":
+		return topo.Complete(ts.Param, ts.Param2)
+	case "Star":
+		return topo.Star(ts.Param)
+	}
+	return nil, fmt.Errorf("scenario: unknown topology kind %q", ts.Kind)
+}
+
+// Pattern selects a traffic pattern from internal/traffic.
+type Pattern struct {
+	// Kind: uniform, permutation, k-permutations, off-diagonal, shuffle,
+	// stencil, adversarial, worst-case.
+	Kind string `json:"kind"`
+	// Offset parametrizes off-diagonal (required non-zero there).
+	Offset int `json:"offset,omitempty"`
+	// K parametrizes k-permutations (0 = 4, the paper's oversubscribed
+	// default).
+	K int `json:"k,omitempty"`
+	// Intensity is the worst-case pattern's traffic intensity (0 = 0.55,
+	// §VI-C) or, for other kinds, an optional thinning fraction in (0,1).
+	Intensity float64 `json:"intensity,omitempty"`
+	// Randomize applies the §III-D randomized workload mapping on top.
+	Randomize bool `json:"randomize,omitempty"`
+}
+
+func (ps Pattern) key() string {
+	return fmt.Sprintf("%s/%d/%d/%s/%t", ps.Kind, ps.Offset, ps.K,
+		strconv.FormatFloat(ps.Intensity, 'g', -1, 64), ps.Randomize)
+}
+
+// label is the short human form used in tables and constraint matching.
+func (ps Pattern) label() string {
+	l := ps.Kind
+	if ps.Randomize {
+		l += "+rand"
+	}
+	return l
+}
+
+func (ps Pattern) validate() error {
+	switch ps.Kind {
+	case "uniform", "permutation", "k-permutations", "shuffle", "stencil",
+		"adversarial", "worst-case":
+	case "off-diagonal":
+		if ps.Offset == 0 {
+			return fmt.Errorf("scenario: off-diagonal pattern needs a non-zero offset")
+		}
+	default:
+		return fmt.Errorf("scenario: unknown pattern kind %q", ps.Kind)
+	}
+	if ps.Intensity < 0 || ps.Intensity > 1 {
+		return fmt.Errorf("scenario: pattern intensity %g outside [0,1]", ps.Intensity)
+	}
+	if ps.K < 0 {
+		return fmt.Errorf("scenario: negative permutation count k=%d", ps.K)
+	}
+	return nil
+}
+
+// build generates the pattern for a topology. All randomness derives from
+// seed: cells agreeing on (topology, pattern) receive identical flows.
+func (ps Pattern) build(t *topo.Topology, seed int64) (traffic.Pattern, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var pat traffic.Pattern
+	switch ps.Kind {
+	case "uniform":
+		pat = traffic.RandomUniform(rng, t.N())
+	case "permutation":
+		pat = traffic.RandomPermutation(rng, t.N())
+	case "k-permutations":
+		k := ps.K
+		if k == 0 {
+			k = 4
+		}
+		pat = traffic.KRandomPermutations(rng, t.N(), k)
+	case "off-diagonal":
+		pat = traffic.OffDiagonal(t.N(), ps.Offset)
+	case "shuffle":
+		pat = traffic.Shuffle(t.N())
+	case "stencil":
+		pat = traffic.DefaultStencil(t.N())
+	case "adversarial":
+		pat = traffic.AdversarialOffDiagonal(t)
+	case "worst-case":
+		intensity := ps.Intensity
+		if intensity == 0 {
+			intensity = 0.55
+		}
+		return finishPattern(traffic.WorstCase(t, intensity, rng), ps, rng), nil
+	default:
+		return traffic.Pattern{}, fmt.Errorf("scenario: unknown pattern kind %q", ps.Kind)
+	}
+	if ps.Intensity > 0 && ps.Intensity < 1 {
+		pat = traffic.Intensity(pat, ps.Intensity, rng)
+	}
+	return finishPattern(pat, ps, rng), nil
+}
+
+func finishPattern(pat traffic.Pattern, ps Pattern, rng *rand.Rand) traffic.Pattern {
+	if ps.Randomize {
+		pat = traffic.RandomizeMapping(pat, rng)
+	}
+	return pat
+}
+
+// FlowSize selects the flow-size distribution.
+type FlowSize struct {
+	// Kind: "fixed" (default) or "pfabric" (the §VII-A4 web-search
+	// distribution).
+	Kind string `json:"kind,omitempty"`
+	// Bytes is the fixed flow size (default 1 MiB).
+	Bytes int64 `json:"bytes,omitempty"`
+}
+
+func (fs FlowSize) key() string { return fs.label() }
+
+func (fs FlowSize) label() string {
+	if fs.Kind == "pfabric" {
+		return "pfabric"
+	}
+	return strconv.FormatInt(fs.bytes(), 10)
+}
+
+func (fs FlowSize) bytes() int64 {
+	if fs.Bytes == 0 {
+		return 1 << 20
+	}
+	return fs.Bytes
+}
+
+func (fs FlowSize) validate() error {
+	switch fs.Kind {
+	case "", "fixed", "pfabric":
+	default:
+		return fmt.Errorf("scenario: unknown flow-size kind %q", fs.Kind)
+	}
+	if fs.Bytes < 0 {
+		return fmt.Errorf("scenario: negative flow size %d", fs.Bytes)
+	}
+	return nil
+}
+
+// sampler returns the per-flow size function.
+func (fs FlowSize) sampler() func(*rand.Rand) int64 {
+	if fs.Kind == "pfabric" {
+		return traffic.PFabricFlowSize
+	}
+	return traffic.FixedSize(fs.bytes())
+}
+
+// Spec is one concrete scenario cell: everything a simulation needs.
+// The zero value of each optional field selects the documented default, so
+// sparse JSON specs stay readable.
+type Spec struct {
+	// Name optionally labels the cell (matrices usually leave it empty).
+	Name     string   `json:"name,omitempty"`
+	Topology Topology `json:"topology"`
+	// Layers is the routing layer count n (0 = the topology's
+	// core.DefaultConfig recommendation).
+	Layers int `json:"layers,omitempty"`
+	// Rho is the layer sparsity ρ (0 = the topology default).
+	Rho float64 `json:"rho,omitempty"`
+	// Construction selects the layer-construction scheme: random (default),
+	// min-interference, spain, past.
+	Construction string `json:"construction,omitempty"`
+	// Routing is the load-balancing scheme: fatpaths (default), ecmp,
+	// letflow, minimal, spray.
+	Routing string `json:"routing,omitempty"`
+	// Transport: ndp (default), tcp, dctcp, mptcp.
+	Transport string   `json:"transport,omitempty"`
+	Pattern   Pattern  `json:"pattern"`
+	FlowSize  FlowSize `json:"flowSize,omitempty"`
+	// Load is the Poisson flow arrival rate λ in flows/s (0 = synchronized
+	// start at t=0).
+	Load float64 `json:"load,omitempty"`
+	// FailFrac fails this fraction of router-router links before the run.
+	FailFrac float64 `json:"failFrac,omitempty"`
+	// Replicas repeats the simulation with re-folded workload seeds and
+	// aggregates flow results (0 = 1).
+	Replicas int `json:"replicas,omitempty"`
+	// HorizonMs is the simulated horizon in milliseconds (0 = 8000).
+	HorizonMs float64 `json:"horizonMs,omitempty"`
+	// Seed overrides the run seed for this cell when non-zero.
+	Seed int64 `json:"seed,omitempty"`
+	// MAT additionally computes the maximum achievable throughput of the
+	// compiled (fabric, pattern) cell (the §VI layered LP, eps 0.12).
+	MAT bool `json:"mat,omitempty"`
+}
+
+// Scheme name tables. The zero value of each field is the first entry.
+var (
+	constructions = map[string]core.LayerScheme{
+		"":                 core.RandomSampling,
+		"random":           core.RandomSampling,
+		"min-interference": core.MinInterference,
+		"spain":            core.SPAINScheme,
+		"past":             core.PASTScheme,
+	}
+	transports = []string{"", "ndp", "tcp", "dctcp", "mptcp"}
+	routings   = []string{"", "fatpaths", "ecmp", "letflow", "minimal", "spray"}
+)
+
+func (s Spec) construction() string {
+	if s.Construction == "" {
+		return "random"
+	}
+	return s.Construction
+}
+
+func (s Spec) transport() string {
+	if s.Transport == "" {
+		return "ndp"
+	}
+	return s.Transport
+}
+
+func (s Spec) routing() string {
+	if s.Routing == "" {
+		return "fatpaths"
+	}
+	return s.Routing
+}
+
+func (s Spec) replicas() int {
+	if s.Replicas < 1 {
+		return 1
+	}
+	return s.Replicas
+}
+
+func (s Spec) horizonMs() float64 {
+	if s.HorizonMs == 0 {
+		return 8000
+	}
+	return s.HorizonMs
+}
+
+// Validate checks every enum and range of the spec.
+func (s Spec) Validate() error {
+	if err := s.Topology.validate(); err != nil {
+		return err
+	}
+	if err := s.Pattern.validate(); err != nil {
+		return err
+	}
+	if err := s.FlowSize.validate(); err != nil {
+		return err
+	}
+	if _, ok := constructions[s.Construction]; !ok {
+		return fmt.Errorf("scenario: unknown construction %q", s.Construction)
+	}
+	if !contains(transports, s.Transport) {
+		return fmt.Errorf("scenario: unknown transport %q", s.Transport)
+	}
+	if !contains(routings, s.Routing) {
+		return fmt.Errorf("scenario: unknown routing %q", s.Routing)
+	}
+	if s.Layers < 0 {
+		return fmt.Errorf("scenario: negative layer count %d", s.Layers)
+	}
+	if s.Rho < 0 || s.Rho > 1 {
+		return fmt.Errorf("scenario: rho %g outside [0,1]", s.Rho)
+	}
+	if s.Load < 0 {
+		return fmt.Errorf("scenario: negative load %g", s.Load)
+	}
+	if s.FailFrac < 0 || s.FailFrac >= 1 {
+		return fmt.Errorf("scenario: failFrac %g outside [0,1)", s.FailFrac)
+	}
+	if s.HorizonMs < 0 {
+		return fmt.Errorf("scenario: negative horizon %g", s.HorizonMs)
+	}
+	if s.Replicas < 0 {
+		return fmt.Errorf("scenario: negative replica count %d", s.Replicas)
+	}
+	return nil
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// workloadKey identifies the workload-defining axes: cells with equal
+// workload keys face the identical flows, sizes, and arrival times.
+func (s Spec) workloadKey() string {
+	return strings.Join([]string{
+		s.Topology.key(), s.Pattern.key(), s.FlowSize.key(),
+		strconv.FormatFloat(s.Load, 'g', -1, 64),
+	}, "|")
+}
+
+// routingKey identifies the fabric-defining axes: cells with equal routing
+// keys share one built fabric (and its lazily materialized tables).
+func (s Spec) routingKey() string {
+	return strings.Join([]string{
+		s.Topology.key(), strconv.Itoa(s.Layers),
+		strconv.FormatFloat(s.Rho, 'g', -1, 64), s.construction(),
+	}, "|")
+}
