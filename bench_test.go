@@ -15,6 +15,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/layers"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/topo"
 	"repro/internal/traffic"
 )
@@ -229,6 +230,46 @@ func BenchmarkSimulatorEventThroughput(b *testing.B) {
 			b.Fatal("flows did not complete")
 		}
 	}
+}
+
+// BenchmarkNetsimReplicate measures one mid-size fig2-style replicate end
+// to end — fabric reuse, Poisson arrivals, the purified transport on a
+// randomized-uniform workload — plain and with the full metrics registry
+// attached. The two sub-benchmarks bound the instrumentation overhead on
+// the simulator's hot loop (local tallies + one flush; the disabled path
+// is a nil check per replicate).
+func BenchmarkNetsimReplicate(b *testing.B) {
+	sf, err := topo.SlimFly(7, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, m *obs.SimMetrics) {
+		fab, err := core.Build(sf, core.DefaultConfig(sf))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := graph.NewRand(2)
+		pat := traffic.RandomizeMapping(traffic.RandomPermutation(rng, sf.N()), rng)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cfg := netsim.NDPDefaults()
+			cfg.Metrics = m
+			wl := core.Workload{
+				Pattern:  pat,
+				FlowSize: traffic.FixedSize(256 << 10),
+				Lambda:   300,
+			}
+			res := fab.RunWorkload(cfg, wl, 4*netsim.Second, 7)
+			if netsim.CompletedFraction(res) < 0.95 {
+				b.Fatal("flows did not complete")
+			}
+		}
+	}
+	b.Run("plain", func(b *testing.B) { run(b, nil) })
+	b.Run("instrumented", func(b *testing.B) {
+		run(b, obs.NewSimMetrics(obs.NewRegistry()))
+	})
 }
 
 func BenchmarkSlimFlyConstruction(b *testing.B) {

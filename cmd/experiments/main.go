@@ -8,12 +8,15 @@
 //	go run ./cmd/experiments -run fig4
 //	go run ./cmd/experiments -run all -full -seed 7 -parallel 16
 //	go run ./cmd/experiments -run fig13 -json > fig13.json
+//	go run ./cmd/experiments -run fig2 -metrics -telemetry run.jsonl
+//	go run ./cmd/experiments -run fig12 -trace trace.json -cpuprofile cpu.pb.gz
 //
 // Quick mode (default) uses small topologies; -full uses the paper's
 // N≈10k class where feasible (expect minutes for the simulation figures).
 // Experiments decompose into independent cells fanned out over -parallel
 // worker goroutines; output is byte-identical for every worker count at a
-// fixed seed.
+// fixed seed — including with -metrics/-telemetry/-trace on, which only
+// observe (tables go to stdout, diagnostics to stderr or files).
 package main
 
 import (
@@ -21,10 +24,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 // result is the machine-readable form of one experiment table (-json).
@@ -38,13 +41,19 @@ type result struct {
 
 func main() {
 	var (
-		run      = flag.String("run", "", "experiment ID to run (or 'all')")
-		list     = flag.Bool("list", false, "list available experiments")
-		full     = flag.Bool("full", false, "paper-scale runs instead of quick mode")
-		seed     = flag.Int64("seed", 42, "random seed")
-		parallel = flag.Int("parallel", 0, "worker goroutines per experiment (0 = all cores)")
-		jsonOut  = flag.Bool("json", false, "emit a JSON array of tables instead of text")
-		progress = flag.Bool("progress", true, "report per-cell progress on stderr")
+		run        = flag.String("run", "", "experiment ID to run (or 'all')")
+		list       = flag.Bool("list", false, "list available experiments")
+		full       = flag.Bool("full", false, "paper-scale runs instead of quick mode")
+		seed       = flag.Int64("seed", 42, "random seed")
+		parallel   = flag.Int("parallel", 0, "worker goroutines per experiment (0 = all cores)")
+		jsonOut    = flag.Bool("json", false, "emit a JSON array of tables instead of text")
+		quiet      = flag.Bool("quiet", false, "suppress the per-cell progress line on stderr")
+		metrics    = flag.Bool("metrics", false, "dump the metrics registry to stderr when done")
+		telemetry  = flag.String("telemetry", "", "append per-cell run telemetry as JSONL to this file")
+		trace      = flag.String("trace", "", "write a Chrome trace_event JSON of one traced simulation window to this file")
+		traceMs    = flag.Float64("trace-ms", 50, "trace window length in simulated milliseconds")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -65,28 +74,46 @@ func main() {
 	} else {
 		e, err := experiments.ByID(*run)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
 		todo = []experiments.Experiment{e}
 	}
 
+	stopProfiles, err := obs.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+	}
+	var tel *obs.Telemetry
+	if *telemetry != "" {
+		if tel, err = obs.OpenTelemetry(*telemetry); err != nil {
+			fatal(err)
+		}
+	}
+	var tracer *obs.Tracer
+	if *trace != "" {
+		tracer = obs.NewTracer(0, int64(*traceMs*1e6), 0)
+	}
+	var prog *obs.Progress
+	if !*quiet {
+		prog = obs.NewProgress(os.Stderr, "")
+	}
+
 	var results []result
 	for _, e := range todo {
-		opts := experiments.Options{Quick: !*full, Seed: *seed, Parallelism: *parallel}
-		if *progress {
-			id := e.ID
-			opts.Progress = func(done, total int) {
-				fmt.Fprintf(os.Stderr, "\r%s: %d/%d cells", id, done, total)
-			}
+		prog.SetLabel(e.ID)
+		opts := experiments.Options{
+			Quick: !*full, Seed: *seed, Parallelism: *parallel,
+			Progress: prog.Hook(), RunName: e.ID,
+			Obs: reg, Telemetry: tel, Tracer: tracer,
 		}
 		start := time.Now()
 		tab, err := e.Run(opts)
 		elapsed := time.Since(start).Seconds()
-		if *progress {
-			// Clear the progress line before real output.
-			fmt.Fprintf(os.Stderr, "\r%s\r", strings.Repeat(" ", len(e.ID)+24))
-		}
+		prog.Clear()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 			os.Exit(1)
@@ -105,8 +132,28 @@ func main() {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(results); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
 	}
+	if reg != nil {
+		fmt.Fprintln(os.Stderr, "# metrics")
+		reg.Dump(os.Stderr)
+	}
+	if tracer != nil {
+		if err := tracer.WriteFile(*trace); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d events -> %s (open in chrome://tracing or ui.perfetto.dev)\n", tracer.Len(), *trace)
+	}
+	if err := tel.Close(); err != nil {
+		fatal(err)
+	}
+	if err := stopProfiles(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
 }

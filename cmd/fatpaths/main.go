@@ -17,21 +17,34 @@ import (
 	"repro/internal/diversity"
 	"repro/internal/graph"
 	"repro/internal/layers"
+	"repro/internal/obs"
 	"repro/internal/topo"
 )
 
 func main() {
 	var (
-		kind     = flag.String("topo", "SF", "topology: SF, DF, HX, XP, FT3, JF, Clique")
-		size     = flag.String("size", "small", "size class: small (N≈200-1000) or medium (N≈10k)")
-		n        = flag.Int("layers", 9, "number of layers")
-		rho      = flag.Float64("rho", 0.6, "fraction of edges per sparsified layer")
-		scheme   = flag.String("scheme", "random", "layer construction: random, min-interference, spain, past")
-		seed     = flag.Int64("seed", 1, "random seed")
-		save     = flag.String("save", "", "write the layer configuration as JSON to this file (§V-B artifact)")
-		deadlock = flag.Bool("deadlock", false, "run the channel-dependency (lossless deployment) analysis per layer")
+		kind       = flag.String("topo", "SF", "topology: SF, DF, HX, XP, FT3, JF, Clique")
+		size       = flag.String("size", "small", "size class: small (N≈200-1000) or medium (N≈10k)")
+		n          = flag.Int("layers", 9, "number of layers")
+		rho        = flag.Float64("rho", 0.6, "fraction of edges per sparsified layer")
+		scheme     = flag.String("scheme", "random", "layer construction: random, min-interference, spain, past")
+		seed       = flag.Int64("seed", 1, "random seed")
+		save       = flag.String("save", "", "write the layer configuration as JSON to this file (§V-B artifact)")
+		deadlock   = flag.Bool("deadlock", false, "run the channel-dependency (lossless deployment) analysis per layer")
+		metrics    = flag.Bool("metrics", false, "dump routing-core metrics to stderr when done")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := obs.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+	}
 
 	class := topo.Small
 	if *size == "medium" {
@@ -42,7 +55,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cfg := core.Config{NumLayers: *n, Rho: *rho, Seed: *seed}
+	cfg := core.Config{NumLayers: *n, Rho: *rho, Seed: *seed, Obs: reg}
 	switch *scheme {
 	case "random":
 		cfg.Scheme = core.RandomSampling
@@ -101,6 +114,13 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("\nlayer configuration written to %s\n", *save)
+	}
+	if reg != nil {
+		fmt.Fprintln(os.Stderr, "# metrics")
+		reg.Dump(os.Stderr)
+	}
+	if err := stopProfiles(); err != nil {
+		fatal(err)
 	}
 }
 

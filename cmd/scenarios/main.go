@@ -10,8 +10,12 @@
 //	go run ./cmd/scenarios -spec examples/scenarios/*.json         # several files
 //	go run ./cmd/scenarios -cells -spec sweep.json                 # expansion only
 //	go run ./cmd/scenarios -json -seed 7 -spec sweep.json > out.json
+//	go run ./cmd/scenarios -metrics -telemetry run.jsonl -spec sweep.json
+//	go run ./cmd/scenarios -trace trace.json -spec sweep.json      # Perfetto
 //
-// Output is byte-identical for every -parallel value at a fixed -seed.
+// Output is byte-identical for every -parallel value at a fixed -seed —
+// including with -metrics/-telemetry/-trace on, which only observe (tables
+// go to stdout, diagnostics to stderr or files).
 package main
 
 import (
@@ -19,9 +23,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/scenario"
 )
 
@@ -37,12 +41,18 @@ type fileResult struct {
 
 func main() {
 	var (
-		spec     = flag.String("spec", "", "scenario matrix spec file (further files may follow as positional arguments)")
-		seed     = flag.Int64("seed", 42, "random seed")
-		parallel = flag.Int("parallel", 0, "worker goroutines (0 = all cores)")
-		jsonOut  = flag.Bool("json", false, "emit JSON instead of text tables")
-		cells    = flag.Bool("cells", false, "only expand and list the matrix cells, don't simulate")
-		progress = flag.Bool("progress", true, "report per-cell progress on stderr")
+		spec       = flag.String("spec", "", "scenario matrix spec file (further files may follow as positional arguments)")
+		seed       = flag.Int64("seed", 42, "random seed")
+		parallel   = flag.Int("parallel", 0, "worker goroutines (0 = all cores)")
+		jsonOut    = flag.Bool("json", false, "emit JSON instead of text tables")
+		cells      = flag.Bool("cells", false, "only expand and list the matrix cells, don't simulate")
+		quiet      = flag.Bool("quiet", false, "suppress the per-cell progress line on stderr")
+		metrics    = flag.Bool("metrics", false, "dump the metrics registry to stderr when done")
+		telemetry  = flag.String("telemetry", "", "append run/cell telemetry as JSONL to this file")
+		trace      = flag.String("trace", "", "write a Chrome trace_event JSON of one traced simulation window to this file")
+		traceMs    = flag.Float64("trace-ms", 50, "trace window length in simulated milliseconds")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -53,6 +63,29 @@ func main() {
 	if len(files) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: scenarios -spec <matrix.json> [more.json ...] (see examples/scenarios/)")
 		os.Exit(2)
+	}
+
+	stopProfiles, err := obs.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fail(err)
+	}
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+	}
+	var tel *obs.Telemetry
+	if *telemetry != "" {
+		if tel, err = obs.OpenTelemetry(*telemetry); err != nil {
+			fail(err)
+		}
+	}
+	var tracer *obs.Tracer
+	if *trace != "" {
+		tracer = obs.NewTracer(0, int64(*traceMs*1e6), 0)
+	}
+	var prog *obs.Progress
+	if !*quiet {
+		prog = obs.NewProgress(os.Stderr, "")
 	}
 
 	var out []fileResult
@@ -70,24 +103,20 @@ func main() {
 			if !*jsonOut {
 				fmt.Printf("# %s — %s: %d cells (%d skipped by constraints)\n", file, m.Name, len(cs), skipped)
 				for i, c := range cs {
-					fmt.Printf("  [%3d] %s\n", i, cellLine(c))
+					fmt.Printf("  [%3d] %s\n", i, c.Key())
 				}
 			}
 			out = append(out, fr)
 			continue
 		}
-		opts := scenario.RunOptions{Seed: *seed, Parallelism: *parallel}
-		if *progress {
-			name := m.Name
-			opts.Progress = func(done, total int) {
-				fmt.Fprintf(os.Stderr, "\r%s: %d/%d cells", name, done, total)
-			}
+		prog.SetLabel(m.Name)
+		opts := scenario.RunOptions{
+			Seed: *seed, Parallelism: *parallel, Progress: prog.Hook(),
+			Name: m.Name, Obs: reg, Telemetry: tel, Tracer: tracer,
 		}
 		start := time.Now()
 		results, err := scenario.RunSpecs(cs, opts)
-		if *progress {
-			fmt.Fprintf(os.Stderr, "\r%s\r", strings.Repeat(" ", len(m.Name)+24))
-		}
+		prog.Clear()
 		if err != nil {
 			fail(fmt.Errorf("%s: %w", file, err))
 		}
@@ -110,6 +139,22 @@ func main() {
 			fail(err)
 		}
 	}
+	if reg != nil {
+		fmt.Fprintln(os.Stderr, "# metrics")
+		reg.Dump(os.Stderr)
+	}
+	if tracer != nil {
+		if err := tracer.WriteFile(*trace); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d events -> %s (open in chrome://tracing or ui.perfetto.dev)\n", tracer.Len(), *trace)
+	}
+	if err := tel.Close(); err != nil {
+		fail(err)
+	}
+	if err := stopProfiles(); err != nil {
+		fail(err)
+	}
 }
 
 // loadMatrix reads one Matrix spec file. Unknown fields are rejected so
@@ -127,15 +172,6 @@ func loadMatrix(file string) (*scenario.Matrix, error) {
 		return nil, fmt.Errorf("%s: %w", file, err)
 	}
 	return &m, nil
-}
-
-// cellLine renders one expanded cell's axis values for -cells.
-func cellLine(s scenario.Spec) string {
-	var parts []string
-	for _, axis := range scenario.AxisNames() {
-		parts = append(parts, axis+"="+scenario.AxisValueMust(s, axis))
-	}
-	return strings.Join(parts, " ")
 }
 
 func fail(err error) {

@@ -15,17 +15,26 @@ import (
 
 	"repro/internal/diversity"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/topo"
 )
 
 func main() {
 	var (
-		kind    = flag.String("topo", "SF", "topology: SF, DF, HX, XP, FT3, JF, Clique")
-		size    = flag.String("size", "small", "size class: small or medium")
-		samples = flag.Int("samples", 300, "sampled router pairs for CDP/PI")
-		seed    = flag.Int64("seed", 1, "random seed")
+		kind       = flag.String("topo", "SF", "topology: SF, DF, HX, XP, FT3, JF, Clique")
+		size       = flag.String("size", "small", "size class: small or medium")
+		samples    = flag.Int("samples", 300, "sampled router pairs for CDP/PI")
+		seed       = flag.Int64("seed", 1, "random seed")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := obs.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topoinfo:", err)
+		os.Exit(1)
+	}
 
 	class := topo.Small
 	if *size == "medium" {
@@ -58,4 +67,9 @@ func main() {
 	fmt.Printf("at d'=%d (Table IV format, fractions of k'):\n", dPrim)
 	fmt.Printf("  CDP mean %.0f%%, 1%% tail %.0f%%\n", 100*cdp.Mean, 100*cdp.Tail1Pct)
 	fmt.Printf("  PI  mean %.0f%%, 99.9%% tail %.0f%%\n", 100*pi.Mean, 100*pi.Tail999Pct)
+
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintln(os.Stderr, "topoinfo:", err)
+		os.Exit(1)
+	}
 }

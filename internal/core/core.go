@@ -21,6 +21,7 @@ import (
 	"repro/internal/layers"
 	"repro/internal/mcf"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/topo"
 	"repro/internal/traffic"
 )
@@ -60,6 +61,15 @@ type Config struct {
 	Rho       float64
 	Scheme    LayerScheme
 	Seed      int64
+	// Obs, when non-nil, instruments the fabric: the routing engine reports
+	// table builds and lock contention into it, and simulations created via
+	// NewSimulation default their metrics bundle from it. Purely
+	// observational — results are byte-identical with or without it.
+	Obs *obs.Registry
+	// Tracer, when non-nil, is offered to simulations created via
+	// NewSimulation; the first simulation to claim it records its event
+	// loop (see obs.Tracer). Observational only, like Obs.
+	Tracer *obs.Tracer
 }
 
 // DefaultConfig returns the layer configuration recommended for a topology
@@ -91,6 +101,11 @@ type Fabric struct {
 	Cfg    Config
 	Layers *layers.LayerSet
 	Fwd    *layers.Forwarding
+
+	// obsSim is the simulation metrics bundle derived from Cfg.Obs (nil
+	// when the fabric is uninstrumented); NewSimulation installs it as the
+	// default for simulations that do not bring their own.
+	obsSim *obs.SimMetrics
 }
 
 // Build constructs layers and forwarding tables for a topology.
@@ -125,12 +140,17 @@ func Build(t *topo.Topology, cfg Config) (*Fabric, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Fabric{
+	fab := &Fabric{
 		Topo:   t,
 		Cfg:    cfg,
 		Layers: ls,
 		Fwd:    layers.NewForwarding(ls, cfg.Seed),
-	}, nil
+	}
+	if cfg.Obs != nil {
+		fab.Fwd.SetMetrics(obs.NewRoutingMetrics(cfg.Obs))
+		fab.obsSim = obs.NewSimMetrics(cfg.Obs)
+	}
+	return fab, nil
 }
 
 // NewSimulation wires the fabric into a packet-level simulation. Replicate
@@ -139,6 +159,12 @@ func Build(t *topo.Topology, cfg Config) (*Fabric, error) {
 // than once per replicate. Simulations are independent and may run
 // concurrently.
 func (f *Fabric) NewSimulation(cfg netsim.Config) *netsim.Sim {
+	if cfg.Metrics == nil {
+		cfg.Metrics = f.obsSim
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = f.Cfg.Tracer
+	}
 	return netsim.NewSim(f.Topo, f.Fwd, cfg)
 }
 

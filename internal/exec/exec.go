@@ -8,6 +8,8 @@
 package exec
 
 import (
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -98,4 +100,54 @@ func ParallelMap[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) 
 		return nil, firstErr
 	}
 	return out, nil
+}
+
+// WorkerPanic wraps a panic escaping a ParallelMapLabeled worker so the
+// crash names the cell that raised it — index, canonical resource key, the
+// original panic value, and the stack at the panic site. Without it a
+// worker-pool panic surfaces as a bare runtime stack with no indication of
+// WHICH of the hundreds of interchangeable cells was responsible.
+type WorkerPanic struct {
+	Index int
+	Label string
+	Value any
+	Stack []byte
+}
+
+func (p *WorkerPanic) Error() string {
+	return fmt.Sprintf("exec: panic in worker cell %d (%s): %v\n%s", p.Index, p.Label, p.Value, p.Stack)
+}
+
+// ParallelMapLabeled is ParallelMap with panic attribution: a panic inside
+// fn(i) is recovered on the worker, wrapped as a *WorkerPanic carrying
+// label(i), and re-raised on the CALLING goroutine once the pool has
+// drained — a panic on a pool goroutine would crash the process before any
+// caller could recover it. Already-wrapped panics (nested pools) pass
+// through untouched. label may be nil.
+func ParallelMapLabeled[T any](workers, n int, label func(i int) string, fn func(i int) (T, error)) ([]T, error) {
+	var (
+		once sync.Once
+		wp   *WorkerPanic
+	)
+	out, err := ParallelMap(workers, n, func(i int) (out T, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				p, ok := r.(*WorkerPanic)
+				if !ok {
+					l := ""
+					if label != nil {
+						l = label(i)
+					}
+					p = &WorkerPanic{Index: i, Label: l, Value: r, Stack: debug.Stack()}
+				}
+				once.Do(func() { wp = p })
+				err = p // stops the pool; superseded by the re-panic below
+			}
+		}()
+		return fn(i)
+	})
+	if wp != nil {
+		panic(wp)
+	}
+	return out, err
 }

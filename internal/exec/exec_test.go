@@ -3,6 +3,7 @@ package exec
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -93,6 +94,67 @@ func TestParallelMapRunsConcurrently(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+}
+
+func TestParallelMapLabeledPanicAttribution(t *testing.T) {
+	// A worker panic must surface as a *WorkerPanic carrying the cell's
+	// canonical resource key, its index, and the original panic value, so a
+	// crash in a 10k-cell sweep names the cell that died.
+	defer func() {
+		r := recover()
+		wp, ok := r.(*WorkerPanic)
+		if !ok {
+			t.Fatalf("recovered %T (%v), want *WorkerPanic", r, r)
+		}
+		if wp.Index != 3 {
+			t.Errorf("Index = %d, want 3", wp.Index)
+		}
+		if wp.Label != "topo=SF layers=9 cell 3" {
+			t.Errorf("Label = %q", wp.Label)
+		}
+		if wp.Value != "kaboom" {
+			t.Errorf("Value = %v", wp.Value)
+		}
+		if len(wp.Stack) == 0 {
+			t.Error("Stack is empty")
+		}
+		for _, part := range []string{"cell 3", "topo=SF layers=9 cell 3", "kaboom"} {
+			if !strings.Contains(wp.Error(), part) {
+				t.Errorf("Error() = %q missing %q", wp.Error(), part)
+			}
+		}
+	}()
+	ParallelMapLabeled(2, 8,
+		func(i int) string { return fmt.Sprintf("topo=SF layers=9 cell %d", i) },
+		func(i int) (int, error) {
+			if i == 3 {
+				panic("kaboom")
+			}
+			return i, nil
+		})
+	t.Fatal("ParallelMapLabeled returned; want panic")
+}
+
+func TestParallelMapLabeledNoDoubleWrap(t *testing.T) {
+	// A panic that is already a *WorkerPanic (e.g. from a nested pool)
+	// passes through unwrapped so the innermost attribution survives.
+	inner := &WorkerPanic{Index: 9, Label: "inner", Value: "x"}
+	defer func() {
+		if r := recover(); r != inner {
+			t.Fatalf("recovered %v, want the inner *WorkerPanic unchanged", r)
+		}
+	}()
+	ParallelMapLabeled(1, 1, nil, func(i int) (int, error) { panic(inner) })
+}
+
+func TestParallelMapLabeledNilLabel(t *testing.T) {
+	defer func() {
+		wp, ok := recover().(*WorkerPanic)
+		if !ok || wp.Index != 0 {
+			t.Fatalf("recovered %v", wp)
+		}
+	}()
+	ParallelMapLabeled(1, 1, nil, func(i int) (int, error) { panic("y") })
 }
 
 func TestParallelMapEveryIndexOnce(t *testing.T) {

@@ -18,9 +18,12 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -40,6 +43,24 @@ type Options struct {
 	// number of completed cells and the runner's total. Invocations may
 	// originate from worker goroutines but are serialized.
 	Progress func(done, total int)
+	// RunName labels telemetry records (the experiment ID being run).
+	RunName string
+	// Obs, when non-nil, instruments the run: fabrics report routing-core
+	// telemetry and simulations flush their counters into it. Purely
+	// observational — tables are byte-identical with or without it.
+	Obs *obs.Registry
+	// Telemetry, when non-nil, receives per-cell JSONL wall-time records.
+	Telemetry *obs.Telemetry
+	// Tracer, when non-nil, is offered to the runner's simulations; the
+	// first to acquire it records its event loop (one bounded window per
+	// process).
+	Tracer *obs.Tracer
+}
+
+// coreCfg assembles the layer configuration for a runner's fabric build,
+// carrying the run's seed and instrumentation registry.
+func (o Options) coreCfg(layers int, rho float64) core.Config {
+	return core.Config{NumLayers: layers, Rho: rho, Seed: o.Seed, Obs: o.Obs, Tracer: o.Tracer}
 }
 
 func (o Options) workers() int {
@@ -112,20 +133,36 @@ func (c *Cell) AddRowf(cells ...interface{}) { c.tab.AddRowf(cells...) }
 func runCells(o Options, tab *stats.Table, n int, fn func(c *Cell) error) error {
 	var mu sync.Mutex
 	done := 0
-	rows, err := exec.ParallelMap(o.workers(), n, func(i int) ([][]string, error) {
-		seed := exec.FoldSeed(o.Seed, uint64(i))
-		c := &Cell{Index: i, Seed: seed, Rng: graph.NewRand(seed)}
-		if err := fn(c); err != nil {
-			return nil, fmt.Errorf("cell %d: %w", i, err)
-		}
-		if o.Progress != nil {
-			mu.Lock()
-			done++
-			o.Progress(done, n)
-			mu.Unlock()
-		}
-		return c.tab.Rows, nil
-	})
+	start := time.Now()
+	rows, err := exec.ParallelMapLabeled(o.workers(), n,
+		func(i int) string { return fmt.Sprintf("%s cell %d", o.RunName, i) },
+		func(i int) ([][]string, error) {
+			seed := exec.FoldSeed(o.Seed, uint64(i))
+			c := &Cell{Index: i, Seed: seed, Rng: graph.NewRand(seed)}
+			cellStart := time.Now()
+			err := fn(c)
+			if o.Telemetry != nil {
+				rec := obs.CellRecord{
+					Type: "cell", Name: o.RunName, Index: i,
+					WallMs:        time.Since(cellStart).Seconds() * 1e3,
+					StartOffsetMs: cellStart.Sub(start).Seconds() * 1e3,
+				}
+				if err != nil {
+					rec.Err = err.Error()
+				}
+				o.Telemetry.Emit(rec)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("cell %d: %w", i, err)
+			}
+			if o.Progress != nil {
+				mu.Lock()
+				done++
+				o.Progress(done, n)
+				mu.Unlock()
+			}
+			return c.tab.Rows, nil
+		})
 	if err != nil {
 		return err
 	}

@@ -155,7 +155,7 @@ func TestMalformedPatternRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	bad := traffic.Pattern{Name: "broken", N: sf.N(), Flows: []traffic.Flow{{Src: 0, Dst: int32(sf.N() + 5)}}}
-	_, err = runSeries(fab, netsim.NDPDefaults(), bad, 32<<10, 0, netsim.Second, 1)
+	_, err = runSeries(Options{}, fab, netsim.NDPDefaults(), bad, 32<<10, 0, netsim.Second, 1)
 	if err == nil {
 		t.Fatal("out-of-range pattern must be rejected")
 	}
@@ -165,7 +165,7 @@ func TestMalformedPatternRejected(t *testing.T) {
 		}
 	}
 	self := traffic.Pattern{Name: "selfie", N: sf.N(), Flows: []traffic.Flow{{Src: 3, Dst: 3}}}
-	if _, err := runSeries(fab, netsim.NDPDefaults(), self, 32<<10, 0, netsim.Second, 1); err == nil {
+	if _, err := runSeries(Options{}, fab, netsim.NDPDefaults(), self, 32<<10, 0, netsim.Second, 1); err == nil {
 		t.Fatal("self-flow pattern must be rejected")
 	}
 }

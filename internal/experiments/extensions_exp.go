@@ -45,7 +45,7 @@ func runExtFailures(o Options) (*stats.Table, error) {
 	}
 	fabs := make([]*core.Fabric, len(series))
 	for i, s := range series {
-		fabs[i], err = core.Build(sf, core.Config{NumLayers: s.layers, Rho: s.rho, Seed: o.Seed})
+		fabs[i], err = core.Build(sf, o.coreCfg(s.layers, s.rho))
 		if err != nil {
 			return nil, err
 		}
@@ -82,7 +82,7 @@ func runExtMPTCP(o Options) (*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	fab, err := core.Build(sf, core.Config{NumLayers: 4, Rho: 0.6, Seed: o.Seed})
+	fab, err := core.Build(sf, o.coreCfg(4, 0.6))
 	if err != nil {
 		return nil, err
 	}
@@ -101,7 +101,7 @@ func runExtMPTCP(o Options) (*stats.Table, error) {
 		case 0:
 			// Flowlet FatPaths baseline.
 			cfg := netsim.TCPDefaults(netsim.TransportTCP)
-			res, err := runSeries(fab, cfg, pat, size, 0, horizon, simSeed)
+			res, err := runSeries(o, fab, cfg, pat, size, 0, horizon, simSeed)
 			if err != nil {
 				return err
 			}
@@ -110,7 +110,7 @@ func runExtMPTCP(o Options) (*stats.Table, error) {
 		case 1:
 			// Native MPTCP transport (LIA-coupled subflows over pinned layers).
 			mcfg := netsim.TCPDefaults(netsim.TransportMPTCP)
-			mres, err := runSeries(fab, mcfg, pat, size, 0, horizon, simSeed)
+			mres, err := runSeries(o, fab, mcfg, pat, size, 0, horizon, simSeed)
 			if err != nil {
 				return err
 			}
@@ -173,7 +173,7 @@ func runExtTables(o Options) (*stats.Table, error) {
 		// destination, so a workload routing to a handful of destination
 		// routers occupies a sliver of the dense n·Nr² footprint even at
 		// the paper-example scale.
-		fab, err := core.Build(t, core.Config{NumLayers: sz.Layers, Rho: 0.6, Seed: o.Seed})
+		fab, err := core.Build(t, o.coreCfg(sz.Layers, 0.6))
 		if err != nil {
 			return err
 		}

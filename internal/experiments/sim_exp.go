@@ -133,16 +133,22 @@ func runMatrices(o Options, ms ...*scenario.Matrix) ([]scenario.CellResult, erro
 		Seed:        o.Seed,
 		Parallelism: o.workers(),
 		Progress:    o.Progress,
+		Name:        o.RunName,
+		Obs:         o.Obs,
+		Telemetry:   o.Telemetry,
+		Tracer:      o.Tracer,
 	})
 }
 
 // runSeries simulates one (fabric, config, pattern, size) combination. The
 // pattern is validated first: a malformed pattern aborts the experiment
-// with a useful error instead of simulating garbage.
-func runSeries(fab *core.Fabric, cfg netsim.Config, pat traffic.Pattern, size int64, lambda float64, horizon netsim.Time, seed int64) ([]netsim.FlowResult, error) {
+// with a useful error instead of simulating garbage. The run's tracer (if
+// any) is offered to every series; the first simulation wins it.
+func runSeries(o Options, fab *core.Fabric, cfg netsim.Config, pat traffic.Pattern, size int64, lambda float64, horizon netsim.Time, seed int64) ([]netsim.FlowResult, error) {
 	if err := pat.ValidateFlows(); err != nil {
 		return nil, err
 	}
+	cfg.Tracer = o.Tracer
 	wl := core.Workload{Pattern: pat, FlowSize: traffic.FixedSize(size), Lambda: lambda}
 	return fab.RunWorkload(cfg, wl, horizon, seed), nil
 }
@@ -299,11 +305,11 @@ func runFig12(o Options) (*stats.Table, error) {
 	}
 	if err := runCells(o, tab, len(cells), func(c *Cell) error {
 		cl := cells[c.Index]
-		fab, err := core.Build(cl.t, core.Config{NumLayers: cl.n, Rho: cl.rho, Seed: o.Seed})
+		fab, err := core.Build(cl.t, o.coreCfg(cl.n, cl.rho))
 		if err != nil {
 			return err
 		}
-		res, err := runSeries(fab, netsim.NDPDefaults(), cl.pat, 1<<20, 300, horizon, cl.simSeed)
+		res, err := runSeries(o, fab, netsim.NDPDefaults(), cl.pat, 1<<20, 300, horizon, cl.simSeed)
 		if err != nil {
 			return err
 		}
@@ -387,7 +393,7 @@ func runFig14(o Options) (*stats.Table, error) {
 		pat := traffic.AdversarialOffDiagonal(t)
 		var base stats.Summary
 		for _, s := range tcpSeriesSet() {
-			fab, err := core.Build(t, core.Config{NumLayers: s.layers, Rho: s.rho, Seed: o.Seed})
+			fab, err := core.Build(t, o.coreCfg(s.layers, s.rho))
 			if err != nil {
 				return err
 			}
@@ -397,7 +403,7 @@ func runFig14(o Options) (*stats.Table, error) {
 			// staggering would dissolve the path collisions the figure
 			// studies (the paper's N≈10k runs have enough concurrent
 			// flows for lambda=200 to keep collisions persistent).
-			res, err := runSeries(fab, cfg, pat, size, 0, horizon, c.Seed)
+			res, err := runSeries(o, fab, cfg, pat, size, 0, horizon, c.Seed)
 			if err != nil {
 				return err
 			}
@@ -449,13 +455,13 @@ func runFig15(o Options) (*stats.Table, error) {
 			return nil
 		}
 		s := series[c.Index-1]
-		fab, err := core.Build(sf, core.Config{NumLayers: s.layers, Rho: s.rho, Seed: o.Seed})
+		fab, err := core.Build(sf, o.coreCfg(s.layers, s.rho))
 		if err != nil {
 			return err
 		}
 		cfg := netsim.TCPDefaults(netsim.TransportTCP)
 		cfg.LB = s.lb
-		res, err := runSeries(fab, cfg, pat, 1<<20, lambda, horizon, simSeed)
+		res, err := runSeries(o, fab, cfg, pat, 1<<20, lambda, horizon, simSeed)
 		if err != nil {
 			return err
 		}
@@ -490,13 +496,13 @@ func runFig16(o Options) (*stats.Table, error) {
 		rho := rhos[c.Index%len(rhos)]
 		t := suite[name]
 		pat := traffic.AdversarialOffDiagonal(t)
-		fab, err := core.Build(t, core.Config{NumLayers: 4, Rho: rho, Seed: o.Seed})
+		fab, err := core.Build(t, o.coreCfg(4, rho))
 		if err != nil {
 			return err
 		}
 		cfg := netsim.TCPDefaults(netsim.TransportTCP)
 		// The rho sweep of one topology compares against the same workload.
-		res, err := runSeries(fab, cfg, pat, 1<<20, 200, horizon, sharedSeed(o, uint64(ti)))
+		res, err := runSeries(o, fab, cfg, pat, 1<<20, 200, horizon, sharedSeed(o, uint64(ti)))
 		if err != nil {
 			return err
 		}
@@ -538,7 +544,7 @@ func runFig17(o Options) (*stats.Table, error) {
 		t := suite[name]
 		var base netsim.Time
 		for _, s := range tcpSeriesSet() {
-			fab, err := core.Build(t, core.Config{NumLayers: s.layers, Rho: s.rho, Seed: o.Seed})
+			fab, err := core.Build(t, o.coreCfg(s.layers, s.rho))
 			if err != nil {
 				return err
 			}
@@ -567,7 +573,7 @@ func runFig20(o Options) (*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	fab, err := core.Build(st, core.Config{NumLayers: 1, Rho: 1, Seed: o.Seed})
+	fab, err := core.Build(st, o.coreCfg(1, 1))
 	if err != nil {
 		return nil, err
 	}
@@ -584,7 +590,7 @@ func runFig20(o Options) (*stats.Table, error) {
 	if err := runCells(o, tab, len(lambdas), func(c *Cell) error {
 		cfg := netsim.TCPDefaults(netsim.TransportTCP)
 		cfg.LB = netsim.LBMinimalLayer
-		res, err := runSeries(fab, cfg, pats[c.Index], 2e6, lambdas[c.Index], 10*netsim.Second, c.Seed)
+		res, err := runSeries(o, fab, cfg, pats[c.Index], 2e6, lambdas[c.Index], 10*netsim.Second, c.Seed)
 		if err != nil {
 			return err
 		}
@@ -621,7 +627,7 @@ func runFig21(o Options) (*stats.Table, error) {
 	}
 	var cells []cell
 	for _, t := range []*topo.Topology{st, ft} {
-		fab, err := core.Build(t, core.Config{NumLayers: 1, Rho: 1, Seed: o.Seed})
+		fab, err := core.Build(t, o.coreCfg(1, 1))
 		if err != nil {
 			return nil, err
 		}
@@ -633,7 +639,7 @@ func runFig21(o Options) (*stats.Table, error) {
 		cl := cells[c.Index]
 		cfg := netsim.NDPDefaults()
 		cfg.LB = netsim.LBPacketSpray
-		res, err := runSeries(cl.fab, cfg, cl.pat, 256<<10, cl.l, 10*netsim.Second, c.Seed)
+		res, err := runSeries(o, cl.fab, cfg, cl.pat, 256<<10, cl.l, 10*netsim.Second, c.Seed)
 		if err != nil {
 			return err
 		}

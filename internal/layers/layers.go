@@ -11,6 +11,7 @@ import (
 	"math/rand"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/routing"
 )
 
@@ -152,6 +153,10 @@ func NewForwarding(ls *LayerSet, seed int64) *Forwarding {
 // Engine exposes the underlying routing engine (candidate sets, route
 // counts, materialization stats).
 func (f *Forwarding) Engine() *routing.Engine { return f.eng }
+
+// SetMetrics attaches routing-core telemetry to the underlying engine
+// (nil disables). Repaired views from WithoutEdges inherit the bundle.
+func (f *Forwarding) SetMetrics(m *obs.RoutingMetrics) { f.eng.SetMetrics(m) }
 
 // NumLayers returns the number of layers with tables.
 func (f *Forwarding) NumLayers() int { return f.eng.NumLayers() }

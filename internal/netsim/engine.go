@@ -7,6 +7,8 @@
 // TCP Reno, and DCTCP.
 package netsim
 
+import "repro/internal/obs"
+
 // Time is simulation time in nanoseconds.
 type Time int64
 
@@ -90,6 +92,14 @@ type Engine struct {
 	now    Time
 	seq    int64
 	events eventHeap
+
+	// Observability. The engine runs on one goroutine, so these are plain
+	// fields updated inline (no atomics on the hot loop); Sim.Run flushes
+	// them into the shared metrics registry afterwards. tracer is nil
+	// except for the single simulation that acquired the run's tracer.
+	executed int64
+	queueHW  int
+	tracer   *obs.Tracer
 }
 
 // NewEngine returns an engine at time 0.
@@ -106,6 +116,9 @@ func (e *Engine) push(t Time, ev event) {
 	ev.at, ev.seq = t, e.seq
 	e.events = append(e.events, ev)
 	e.events.siftUp(len(e.events) - 1)
+	if len(e.events) > e.queueHW {
+		e.queueHW = len(e.events)
+	}
 }
 
 // At schedules fn at absolute time t (>= now).
@@ -139,6 +152,10 @@ func (e *Engine) Run(until Time) int {
 		e.events = e.events[:last]
 		e.events.siftDown(0)
 		e.now = ev.at
+		e.executed++
+		if e.tracer != nil {
+			e.traceEvent(ev)
+		}
 		switch ev.kind {
 		case evFunc:
 			ev.fn()
@@ -157,6 +174,54 @@ func (e *Engine) Run(until Time) int {
 	}
 	return n
 }
+
+// eventTraceName maps event kinds onto trace slice names.
+var eventTraceName = [...]string{evFunc: "timer", evTxDone: "tx-done", evDeliver: "deliver"}
+
+// traceEvent records one executed event in the engine's trace window, plus
+// a periodic event-queue-depth counter track. Packet events land on a tid
+// derived from the packet's destination so per-flow activity separates
+// into rows in the viewer.
+func (e *Engine) traceEvent(ev event) {
+	ts := int64(e.now)
+	if !e.tracer.Active(ts) {
+		return
+	}
+	tid := 0
+	name := eventTraceName[ev.kind]
+	if ev.pkt != nil {
+		tid = 1 + int(ev.pkt.DstHost)%62
+		name = pktTraceName(name, ev.pkt)
+	}
+	e.tracer.Instant("event", name, ts, tid)
+	if e.executed%64 == 0 {
+		e.tracer.CounterEvent("event_queue_depth", ts, int64(len(e.events)))
+	}
+}
+
+// pktTraceName renders a packet event's slice name.
+func pktTraceName(base string, p *Packet) string {
+	switch p.Kind {
+	case KindAck:
+		return base + ":ack"
+	case KindPull:
+		return base + ":pull"
+	default:
+		if p.Trimmed {
+			return base + ":trim"
+		}
+		return base + ":data"
+	}
+}
+
+// SetTracer attaches an acquired tracer to the engine's event loop.
+func (e *Engine) SetTracer(t *obs.Tracer) { e.tracer = t }
+
+// Executed returns the number of events executed so far.
+func (e *Engine) Executed() int64 { return e.executed }
+
+// QueueHighWater returns the largest event-queue depth reached.
+func (e *Engine) QueueHighWater() int { return e.queueHW }
 
 // Pending returns the number of queued events.
 func (e *Engine) Pending() int { return len(e.events) }

@@ -75,7 +75,7 @@ func (l *link) txTime(b int32) Time {
 func (l *link) enqueue(p *Packet) {
 	if l.failed {
 		l.failDrops++
-		freePacket(p)
+		l.net.free(p)
 		return
 	}
 	if p.prio() {
@@ -84,7 +84,7 @@ func (l *link) enqueue(p *Packet) {
 			l.kick()
 		} else {
 			l.Drops++
-			freePacket(p)
+			l.net.free(p)
 		}
 		return
 	}
@@ -107,12 +107,12 @@ func (l *link) enqueue(p *Packet) {
 			l.kick()
 		} else {
 			l.Drops++
-			freePacket(p)
+			l.net.free(p)
 		}
 		return
 	}
 	l.Drops++
-	freePacket(p)
+	l.net.free(p)
 }
 
 // kick starts transmitting if idle. Priority traffic (control packets,
@@ -159,7 +159,19 @@ type Network struct {
 
 	// Stats.
 	DeliveredData int64
+
+	// Observability tallies, plain fields on the single-goroutine
+	// simulation path (flushed into the shared registry by Sim.Run):
+	// inflight counts live packets (injected, not yet delivered or
+	// dropped), inflightHW its high-water mark, and hopHist the
+	// router-router hops of each packet delivered to a host.
+	inflight   int64
+	inflightHW int64
+	hopHist    [maxHopBucket + 1]int64
 }
+
+// maxHopBucket saturates the hop histogram's index.
+const maxHopBucket = 63
 
 // buildNetwork constructs links per the config.
 func buildNetwork(eng *Engine, t *topo.Topology, fwd *layers.Forwarding, cfg Config) *Network {
@@ -202,7 +214,18 @@ func buildNetwork(eng *Engine, t *topo.Topology, fwd *layers.Forwarding, cfg Con
 
 // sendFromHost injects a packet at its source host's uplink.
 func (n *Network) sendFromHost(p *Packet) {
+	n.inflight++
+	if n.inflight > n.inflightHW {
+		n.inflightHW = n.inflight
+	}
 	n.hostUp[p.SrcHost].enqueue(p)
+}
+
+// free retires a dead packet: the in-flight tally drops and the struct
+// returns to the pool.
+func (n *Network) free(p *Packet) {
+	n.inflight--
+	freePacket(p)
 }
 
 // deliver handles a packet arriving at the receiving end of a link. A
@@ -211,8 +234,15 @@ func (n *Network) sendFromHost(p *Packet) {
 func (n *Network) deliver(l *link, p *Packet) {
 	if l.toHost >= 0 {
 		n.DeliveredData++
+		if p.Kind == KindData {
+			h := p.Hops
+			if h > maxHopBucket {
+				h = maxHopBucket
+			}
+			n.hopHist[h]++
+		}
 		n.hostRecv(l.toHost, p)
-		freePacket(p)
+		n.free(p)
 		return
 	}
 	n.forward(int(l.toRouter), p)

@@ -3,8 +3,10 @@ package netsim
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 
 	"repro/internal/layers"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/topo"
 )
@@ -66,6 +68,18 @@ type Config struct {
 	Seed          int64
 	// SoftwareLatency models endpoint interrupt throttling (100 kHz).
 	SoftwareLatency Time
+
+	// Metrics, when non-nil, receives the simulation's observability
+	// tallies when Run finishes. Hot paths accumulate into plain local
+	// fields, so a nil Metrics costs nothing and a shared bundle is
+	// touched once per replicate, not per event. Purely observational:
+	// results are byte-identical with or without it.
+	Metrics *obs.SimMetrics
+	// Tracer, when non-nil, is offered to the simulation: the first
+	// simulation to acquire it records its event loop and flow lifetimes
+	// (bounded window, Chrome trace_event format). Sharing one tracer
+	// across a sweep traces exactly one replicate.
+	Tracer *obs.Tracer
 }
 
 // NDPDefaults returns the htsim-mode configuration of §VII-A6: 9KB jumbo
@@ -161,6 +175,11 @@ type Sim struct {
 
 	// lastPull implements per-host pull pacing for NDP receivers.
 	lastPull []Time
+
+	// Observability tallies (plain fields; flushed once by Run).
+	flowletReroutes int64
+	tcpTimeouts     int64
+	traced          bool
 }
 
 // flow carries per-flow transport state (sender + receiver ends).
@@ -244,6 +263,10 @@ func NewSim(t *topo.Topology, fwd *layers.Forwarding, cfg Config) *Sim {
 		lastPull: make([]Time, t.N()),
 	}
 	net.hostRecv = s.hostRecv
+	if cfg.Tracer.TryAcquire() {
+		eng.SetTracer(cfg.Tracer)
+		s.traced = true
+	}
 	return s
 }
 
@@ -345,6 +368,7 @@ func (s *Sim) reselectLayer(f *flow) {
 	if f.spec.Pinned {
 		return
 	}
+	s.flowletReroutes++
 	n := s.Fwd.NumLayers()
 	if n <= 1 {
 		f.layer = 0
@@ -363,6 +387,12 @@ func (s *Sim) reselectLayer(f *flow) {
 }
 
 func (s *Sim) startFlow(f *flow) {
+	if s.traced {
+		now := int64(s.Eng.Now())
+		if s.Cfg.Tracer.Active(now) {
+			s.Cfg.Tracer.SpanBegin("flow", flowSpanName(f), strconv.Itoa(int(f.id)), now)
+		}
+	}
 	switch s.Cfg.Transport {
 	case TransportNDP:
 		s.ndpStart(f)
@@ -394,6 +424,17 @@ func (s *Sim) markDone(f *flow) {
 	f.done = true
 	// Software/interrupt latency before the application sees the message.
 	f.finish = s.Eng.Now() + s.Cfg.SoftwareLatency
+	if s.traced {
+		ts := int64(s.Eng.Now())
+		if s.Cfg.Tracer.Active(ts) {
+			s.Cfg.Tracer.SpanEnd("flow", flowSpanName(f), strconv.Itoa(int(f.id)), ts)
+		}
+	}
+}
+
+// flowSpanName labels a flow's async span in the trace viewer.
+func flowSpanName(f *flow) string {
+	return "flow " + strconv.Itoa(int(f.spec.Src)) + "->" + strconv.Itoa(int(f.spec.Dst))
 }
 
 // Run executes the simulation until the horizon and returns per-flow
@@ -410,7 +451,39 @@ func (s *Sim) Run(until Time) []FlowResult {
 			TrimsSeen: f.trimsSeen,
 		})
 	}
+	s.flushMetrics()
 	return s.results
+}
+
+// flushMetrics folds the run's local observability tallies into the shared
+// registry bundle — one pass per replicate, nothing on the event hot path.
+func (s *Sim) flushMetrics() {
+	m := s.Cfg.Metrics
+	if m == nil {
+		return
+	}
+	m.Events.Add(s.Eng.executed)
+	m.QueueHighWater.SetMax(int64(s.Eng.queueHW))
+	m.InflightHighWater.SetMax(s.Net.inflightHW)
+	m.FlowletReroutes.Add(s.flowletReroutes)
+	m.TCPTimeouts.Add(s.tcpTimeouts)
+	m.Drops.Add(s.Net.TotalDrops())
+	m.Trims.Add(s.Net.TotalTrims())
+	for i, c := range s.Net.hopHist {
+		if c > 0 {
+			m.PathHops.ObserveN(float64(i), c)
+		}
+	}
+	var completed, retx int64
+	for _, r := range s.results {
+		retx += r.Retx
+		if r.Done {
+			completed++
+			m.FCTms.Observe(r.FCT().Seconds() * 1e3)
+		}
+	}
+	m.FlowsCompleted.Add(completed)
+	m.Retransmits.Add(retx)
 }
 
 // SummarizeThroughput digests completed-flow throughputs (MiB/s).

@@ -253,6 +253,7 @@ func (s *Sim) tcpRTOFire(f *flow, gen int64) {
 	// Timeout: multiplicative backoff, window collapse, go-back-N restart
 	// (retransmit everything from the first hole, as SACK-less Reno does;
 	// duplicates are discarded by the receiver).
+	s.tcpTimeouts++
 	snd.ssthresh = snd.cwnd / 2
 	if snd.ssthresh < 2 {
 		snd.ssthresh = 2

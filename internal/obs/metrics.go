@@ -1,0 +1,125 @@
+package obs
+
+// This file defines the typed metric bundles the instrumented subsystems
+// hold: one struct per layer, built from a shared Registry so every
+// simulation, fabric, and worker of a run accumulates into the same named
+// metrics. A nil bundle (from a nil registry) is the disabled path — the
+// holder guards each flush with one nil check.
+
+// Simulator metric names (see README "Observability" for the catalog).
+const (
+	MetricSimEvents          = "netsim.events_processed"
+	MetricSimQueueHighWater  = "netsim.event_queue_highwater"
+	MetricSimInflightHW      = "netsim.packets_inflight_highwater"
+	MetricSimFCTms           = "netsim.flow_fct_ms"
+	MetricSimPathHops        = "netsim.flow_path_hops"
+	MetricSimFlowletReroutes = "netsim.flowlet_reroutes"
+	MetricSimTrims           = "netsim.ndp_trims"
+	MetricSimRetransmits     = "netsim.retransmits"
+	MetricSimTCPTimeouts     = "netsim.tcp_timeouts"
+	MetricSimDrops           = "netsim.drops"
+	MetricSimFlowsCompleted  = "netsim.flows_completed"
+)
+
+// Routing-core metric names.
+const (
+	MetricRoutingTablesBuilt   = "routing.tables_built"
+	MetricRoutingCSREntries    = "routing.csr_entries_deployed"
+	MetricRoutingInvalidated   = "routing.tables_invalidated"
+	MetricRoutingShared        = "routing.tables_shared"
+	MetricRoutingStripeLocks   = "routing.stripe_lock_acquisitions"
+	MetricRoutingStripeContend = "routing.stripe_lock_contention"
+)
+
+// FCTBucketsMs are the flow-completion-time histogram bounds in
+// milliseconds: log-spaced from 10µs to 10s, covering quick-mode RTTs
+// through paper-scale horizons.
+var FCTBucketsMs = []float64{
+	0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1, 2, 5, 10, 20, 50,
+	100, 200, 500, 1000, 2000, 5000, 10000,
+}
+
+// PathHopBuckets are the per-packet router-hop histogram bounds; FatPaths
+// paths on low-diameter topologies are short, with a tail for sparse-layer
+// detours.
+var PathHopBuckets = []float64{1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 16, 24, 32}
+
+// SimMetrics is the simulator's metric bundle. Simulations accumulate
+// locally (plain fields on the single-goroutine hot paths) and flush here
+// once per Run, so concurrent replicates on different workers share these
+// atomics without contending per event.
+type SimMetrics struct {
+	// Events counts executed discrete events; QueueHighWater is the
+	// largest event-queue depth any simulation reached.
+	Events         *Counter
+	QueueHighWater *Gauge
+	// InflightHighWater is the largest live-packet count of any simulation.
+	InflightHighWater *Gauge
+	// FCTms digests completed-flow completion times; PathHops digests
+	// router hops per delivered data packet.
+	FCTms    *Histogram
+	PathHops *Histogram
+	// FlowletReroutes counts layer re-selections at flowlet boundaries;
+	// Trims counts NDP payload trims; Retransmits counts retransmitted
+	// packets; TCPTimeouts counts RTO firings; Drops counts lost packets.
+	FlowletReroutes *Counter
+	Trims           *Counter
+	Retransmits     *Counter
+	TCPTimeouts     *Counter
+	Drops           *Counter
+	FlowsCompleted  *Counter
+}
+
+// NewSimMetrics returns the simulator bundle backed by r, or nil (the
+// disabled bundle) when r is nil. Bundles from one registry share state.
+func NewSimMetrics(r *Registry) *SimMetrics {
+	if r == nil {
+		return nil
+	}
+	return &SimMetrics{
+		Events:            r.Counter(MetricSimEvents),
+		QueueHighWater:    r.Gauge(MetricSimQueueHighWater),
+		InflightHighWater: r.Gauge(MetricSimInflightHW),
+		FCTms:             r.Histogram(MetricSimFCTms, FCTBucketsMs),
+		PathHops:          r.Histogram(MetricSimPathHops, PathHopBuckets),
+		FlowletReroutes:   r.Counter(MetricSimFlowletReroutes),
+		Trims:             r.Counter(MetricSimTrims),
+		Retransmits:       r.Counter(MetricSimRetransmits),
+		TCPTimeouts:       r.Counter(MetricSimTCPTimeouts),
+		Drops:             r.Counter(MetricSimDrops),
+		FlowsCompleted:    r.Counter(MetricSimFlowsCompleted),
+	}
+}
+
+// RoutingMetrics is the routing-core bundle: table materialization volume,
+// incremental-invalidation effectiveness, and build-lock contention.
+type RoutingMetrics struct {
+	// TablesBuilt counts lazily or eagerly materialized (layer, dst)
+	// tables; CSREntries counts their deployed candidate entries.
+	TablesBuilt *Counter
+	CSREntries  *Counter
+	// TablesInvalidated / TablesShared count, per WithoutEdges repair, the
+	// built tables that had to be discarded vs reused from the parent.
+	TablesInvalidated *Counter
+	TablesShared      *Counter
+	// StripeAcquisitions counts first-touch build-lock acquisitions;
+	// StripeContention counts acquisitions that found the stripe held.
+	StripeAcquisitions *Counter
+	StripeContention   *Counter
+}
+
+// NewRoutingMetrics returns the routing bundle backed by r, or nil when r
+// is nil.
+func NewRoutingMetrics(r *Registry) *RoutingMetrics {
+	if r == nil {
+		return nil
+	}
+	return &RoutingMetrics{
+		TablesBuilt:        r.Counter(MetricRoutingTablesBuilt),
+		CSREntries:         r.Counter(MetricRoutingCSREntries),
+		TablesInvalidated:  r.Counter(MetricRoutingInvalidated),
+		TablesShared:       r.Counter(MetricRoutingShared),
+		StripeAcquisitions: r.Counter(MetricRoutingStripeLocks),
+		StripeContention:   r.Counter(MetricRoutingStripeContend),
+	}
+}

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // Table is the multi-next-hop table of one (layer, destination) pair: for
@@ -72,7 +73,17 @@ type Engine struct {
 
 	tables  []atomic.Pointer[Table] // slot = layer*nr + dst
 	stripes [numStripes]sync.Mutex
+
+	// m, when non-nil, receives routing-core telemetry (tables built, CSR
+	// entries deployed, stripe-lock contention samples). All counters fire
+	// off the lock-free read fast path — only first-touch builds and
+	// WithoutEdges repairs touch them — so a nil m costs nothing per lookup.
+	m *obs.RoutingMetrics
 }
+
+// SetMetrics attaches a routing telemetry bundle (nil disables). Call
+// before sharing the engine across goroutines.
+func (e *Engine) SetMetrics(m *obs.RoutingMetrics) { e.m = m }
 
 // NewEngine returns an engine over g with one routing layer per mask
 // (masks[l][edgeID] enables the edge in layer l; a nil mask is the full
@@ -106,13 +117,28 @@ func (e *Engine) Table(layer, dst int) *Table {
 		return t
 	}
 	mu := &e.stripes[slot%numStripes]
-	mu.Lock()
+	if e.m != nil {
+		// Contention sampling: TryLock first so a blocked acquisition is
+		// observable. Only attempted when telemetry is on — the disabled
+		// path is the plain Lock below.
+		e.m.StripeAcquisitions.Inc()
+		if !mu.TryLock() {
+			e.m.StripeContention.Inc()
+			mu.Lock()
+		}
+	} else {
+		mu.Lock()
+	}
 	defer mu.Unlock()
 	if t := e.tables[slot].Load(); t != nil {
 		return t
 	}
 	t := buildTable(e.g, e.masks[layer], dst)
 	e.tables[slot].Store(t)
+	if e.m != nil {
+		e.m.TablesBuilt.Inc()
+		e.m.CSREntries.Add(int64(len(t.Cand)))
+	}
 	return t
 }
 
@@ -295,7 +321,9 @@ func (e *Engine) WithoutEdges(failed []int) *Engine {
 		seed:   e.seed,
 		nr:     e.nr,
 		tables: make([]atomic.Pointer[Table], len(e.tables)),
+		m:      e.m,
 	}
+	var shared, invalidated int64
 	for l := range e.masks {
 		old := e.masks[l]
 		mask := make([]bool, e.g.M())
@@ -311,11 +339,20 @@ func (e *Engine) WithoutEdges(failed []int) *Engine {
 		out.masks[l] = mask
 		for d := 0; d < e.nr; d++ {
 			t := e.tables[l*e.nr+d].Load()
-			if t == nil || tableUsesAny(t, removed) {
+			if t == nil {
 				continue
 			}
+			if tableUsesAny(t, removed) {
+				invalidated++
+				continue
+			}
+			shared++
 			out.tables[l*e.nr+d].Store(t)
 		}
+	}
+	if e.m != nil {
+		e.m.TablesInvalidated.Add(invalidated)
+		e.m.TablesShared.Add(shared)
 	}
 	return out
 }

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/topo"
 )
 
@@ -293,5 +294,48 @@ func TestFullEquivalenceRouting(t *testing.T) {
 			}
 		}
 		t.Run(name+"/lazy", func(t *testing.T) { requireEqualEngines(t, ref, lazy) })
+	}
+}
+
+func TestRoutingMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	e, _ := testEngine(t, 29)
+	e.SetMetrics(obs.NewRoutingMetrics(reg))
+
+	e.Table(0, 3)
+	e.Table(0, 3) // second lookup hits the cache, builds nothing
+	e.Table(1, 4)
+	snap := reg.Snapshot()
+	if got := snap[obs.MetricRoutingTablesBuilt]; got != 2 {
+		t.Fatalf("tables_built = %d, want 2", got)
+	}
+	if snap[obs.MetricRoutingCSREntries] <= 0 {
+		t.Fatal("csr_entries_deployed must grow with built tables")
+	}
+	if snap[obs.MetricRoutingStripeLocks] < 2 {
+		t.Fatalf("stripe_lock_acquisitions = %d, want >= 2 (one per first-touch build)",
+			snap[obs.MetricRoutingStripeLocks])
+	}
+
+	// WithoutEdges repairs report, against the parent's BUILT tables, how
+	// many were shared untouched vs dropped for rebuild — and the derived
+	// engine keeps accumulating into the same registry.
+	e.BuildAll(2)
+	built := reg.Snapshot()[obs.MetricRoutingTablesBuilt]
+	derived := e.WithoutEdges([]int{0, 1})
+	snap = reg.Snapshot()
+	inval, shared := snap[obs.MetricRoutingInvalidated], snap[obs.MetricRoutingShared]
+	if inval == 0 {
+		t.Fatal("removing live edges must invalidate some tables")
+	}
+	if shared == 0 {
+		t.Fatal("incremental repair must share unaffected tables")
+	}
+	if total := int64(e.NumLayers() * e.Nr()); inval+shared != total {
+		t.Fatalf("invalidated(%d) + shared(%d) != built tables (%d)", inval, shared, total)
+	}
+	derived.Table(0, 0)
+	if got := reg.Snapshot()[obs.MetricRoutingTablesBuilt]; got <= built {
+		t.Fatal("derived engine must inherit the parent's metrics bundle")
 	}
 }

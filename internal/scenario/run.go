@@ -5,11 +5,13 @@ import (
 	"hash/fnv"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/topo"
 	"repro/internal/traffic"
@@ -27,6 +29,18 @@ type RunOptions struct {
 	// Progress, when non-nil, is called after each completed cell with the
 	// completed and total cell counts (invocations are serialized).
 	Progress func(done, total int)
+	// Name labels the run in telemetry records (typically the matrix name).
+	Name string
+	// Obs, when non-nil, instruments the run: fabrics report routing-core
+	// telemetry into it and every simulation flushes its counters there.
+	// Purely observational — results are byte-identical with or without it.
+	Obs *obs.Registry
+	// Telemetry, when non-nil, receives run_start / per-cell / run_end
+	// JSONL records (wall times, worker utilization).
+	Telemetry *obs.Telemetry
+	// Tracer, when non-nil, is offered to cell 0 only (a deterministic
+	// choice); the first simulation of that cell records its event loop.
+	Tracer *obs.Tracer
 }
 
 func (o RunOptions) workers() int {
@@ -170,8 +184,10 @@ func coreConfig(s Spec, t *topo.Topology, layerSeed int64) core.Config {
 }
 
 // runCell executes one cell: build (or fetch) the fabric, compile and
-// validate the pattern, then simulate Replicas times and aggregate.
-func runCell(s Spec, cc *caches, runSeed int64) (CellResult, error) {
+// validate the pattern, then simulate Replicas times and aggregate. traced
+// marks the one cell that is offered the run's tracer.
+func runCell(s Spec, cc *caches, o RunOptions, traced bool) (CellResult, error) {
+	runSeed := o.Seed
 	if s.Seed != 0 {
 		runSeed = s.Seed
 	}
@@ -188,6 +204,7 @@ func runCell(s Spec, cc *caches, runSeed int64) (CellResult, error) {
 	}
 	layerSeed := seedFor(runSeed, "layers|"+s.routingKey())
 	conf := coreConfig(s, t, layerSeed)
+	conf.Obs = o.Obs
 	fab, err := cc.fabric(seedKey+s.routingKey(), func() (*core.Fabric, error) {
 		return core.Build(t, conf)
 	})
@@ -205,6 +222,9 @@ func runCell(s Spec, cc *caches, runSeed int64) (CellResult, error) {
 	cfg, err := simConfig(s)
 	if err != nil {
 		return CellResult{}, err
+	}
+	if traced {
+		cfg.Tracer = o.Tracer
 	}
 	horizon := netsim.Time(s.horizonMs() * 1e6)
 	workloadSeed := seedFor(runSeed, "workload|"+s.workloadKey())
@@ -278,19 +298,51 @@ func RunSpecs(cells []Spec, o RunOptions) ([]CellResult, error) {
 	cc := newCaches()
 	var mu sync.Mutex
 	done := 0
-	return exec.ParallelMap(o.workers(), len(cells), func(i int) (CellResult, error) {
-		r, err := runCell(cells[i], cc, o.Seed)
-		if err != nil {
-			return CellResult{}, fmt.Errorf("cell %d: %w", i, err)
-		}
-		if o.Progress != nil {
-			mu.Lock()
-			done++
-			o.Progress(done, len(cells))
-			mu.Unlock()
-		}
-		return r, nil
+	start := time.Now()
+	var busy time.Duration
+	o.Telemetry.Emit(obs.RunStart{
+		Type: "run_start", Name: o.Name, Cells: len(cells),
+		Workers: o.workers(), Seed: o.Seed, UnixMs: obs.UnixMs(),
 	})
+	results, err := exec.ParallelMapLabeled(o.workers(), len(cells),
+		func(i int) string { return cells[i].Key() },
+		func(i int) (CellResult, error) {
+			cellStart := time.Now()
+			r, err := runCell(cells[i], cc, o, i == 0)
+			wall := time.Since(cellStart)
+			if o.Telemetry != nil {
+				rec := obs.CellRecord{
+					Type: "cell", Name: o.Name, Index: i, Key: cells[i].Key(),
+					WallMs:        wall.Seconds() * 1e3,
+					StartOffsetMs: cellStart.Sub(start).Seconds() * 1e3,
+				}
+				if err != nil {
+					rec.Err = err.Error()
+				}
+				o.Telemetry.Emit(rec)
+			}
+			if err != nil {
+				return CellResult{}, fmt.Errorf("cell %d (%s): %w", i, cells[i].Key(), err)
+			}
+			mu.Lock()
+			busy += wall
+			done++
+			if o.Progress != nil {
+				o.Progress(done, len(cells))
+			}
+			mu.Unlock()
+			return r, nil
+		})
+	elapsed := time.Since(start)
+	util := 0.0
+	if elapsed > 0 {
+		util = busy.Seconds() / (elapsed.Seconds() * float64(o.workers()))
+	}
+	o.Telemetry.Emit(obs.RunEnd{
+		Type: "run_end", Name: o.Name, Cells: len(cells),
+		WallMs: elapsed.Seconds() * 1e3, WorkerUtil: util, UnixMs: obs.UnixMs(),
+	})
+	return results, err
 }
 
 // Run expands the matrix and executes every cell.

@@ -1,8 +1,12 @@
 package scenario
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // tinyMatrix is a fast multi-axis matrix on the smallest Slim Fly.
@@ -183,5 +187,75 @@ func TestAllPatternKindsCompile(t *testing.T) {
 		if err := pat.ValidateFlows(); err != nil {
 			t.Fatalf("%s: compiled pattern invalid: %v", ps.Kind, err)
 		}
+	}
+}
+
+// TestRunTelemetryAndDeterminism: a fully instrumented RunSpecs (registry,
+// JSONL telemetry, tracer) emits a well-formed journal — run_start, one
+// cell record per cell carrying its canonical key, run_end — and renders
+// the exact table an uninstrumented run does.
+func TestRunTelemetryAndDeterminism(t *testing.T) {
+	cells, skipped, err := tinyMatrix().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("tiny matrix skipped %d cells", skipped)
+	}
+	plain, err := RunSpecs(cells, RunOptions{Seed: 7, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	var telBuf bytes.Buffer
+	tracer := obs.NewTracer(0, 50_000_000, 0)
+	instrumented, err := RunSpecs(cells, RunOptions{
+		Seed: 7, Parallelism: 2, Name: "tiny",
+		Obs: reg, Telemetry: obs.NewTelemetry(&telBuf), Tracer: tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, i := Table("t", plain).String(), Table("t", instrumented).String(); p != i {
+		t.Fatalf("instrumentation changed the table:\n--- plain ---\n%s\n--- instrumented ---\n%s", p, i)
+	}
+
+	lines := strings.Split(strings.TrimSpace(telBuf.String()), "\n")
+	if want := len(cells) + 2; len(lines) != want {
+		t.Fatalf("journal has %d lines, want %d (run_start + cells + run_end)", len(lines), want)
+	}
+	keys := map[string]bool{}
+	for i, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d not JSON: %v\n%s", i, err, line)
+		}
+		switch {
+		case i == 0:
+			if rec["type"] != "run_start" || rec["name"] != "tiny" || rec["cells"] != float64(len(cells)) {
+				t.Fatalf("bad run_start: %v", rec)
+			}
+		case i == len(lines)-1:
+			if rec["type"] != "run_end" {
+				t.Fatalf("bad run_end: %v", rec)
+			}
+		default:
+			if rec["type"] != "cell" {
+				t.Fatalf("line %d: type %v, want cell", i, rec["type"])
+			}
+			keys[rec["key"].(string)] = true
+		}
+	}
+	for _, c := range cells {
+		if !keys[c.Key()] {
+			t.Fatalf("journal missing cell key %q (have %v)", c.Key(), keys)
+		}
+	}
+	if reg.Snapshot()[obs.MetricSimEvents] == 0 {
+		t.Fatal("registry attached, but no simulator events counted")
+	}
+	if tracer.Len() == 0 {
+		t.Fatal("tracer attached, but no events recorded (cell 0 should trace)")
 	}
 }

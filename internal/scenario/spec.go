@@ -411,6 +411,17 @@ func contains(xs []string, x string) bool {
 	return false
 }
 
+// Key renders the cell's canonical identity — every axis as axis=value in
+// canonical axis order. It names cells in -cells listings, telemetry
+// records, and worker-panic attribution.
+func (s Spec) Key() string {
+	var parts []string
+	for _, axis := range AxisNames() {
+		parts = append(parts, axis+"="+AxisValueMust(s, axis))
+	}
+	return strings.Join(parts, " ")
+}
+
 // workloadKey identifies the workload-defining axes: cells with equal
 // workload keys face the identical flows, sizes, and arrival times.
 func (s Spec) workloadKey() string {
