@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/core"
@@ -270,6 +271,38 @@ func BenchmarkNetsimReplicate(b *testing.B) {
 	b.Run("instrumented", func(b *testing.B) {
 		run(b, obs.NewSimMetrics(obs.NewRegistry()))
 	})
+
+	// shards=S: one fig14-style DCTCP cell under the sharded event loop.
+	// Results are byte-identical across the sweep (the engine's determinism
+	// contract), so the only thing that varies is wall clock: the ratio of
+	// shards=1 to shards=8 is the parallel-engine speedup on this machine's
+	// cores. CI archives the sweep in BENCH_netsim.json.
+	for _, shards := range []int{1, 2, 4, 8} {
+		shards := shards
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			fab, err := core.Build(sf, core.DefaultConfig(sf))
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := graph.NewRand(2)
+			pat := traffic.RandomizeMapping(traffic.RandomPermutation(rng, sf.N()), rng)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cfg := netsim.TCPDefaults(netsim.TransportDCTCP)
+				cfg.Shards = shards
+				wl := core.Workload{
+					Pattern:  pat,
+					FlowSize: traffic.FixedSize(256 << 10),
+					Lambda:   300,
+				}
+				res := fab.RunWorkload(cfg, wl, 4*netsim.Second, 7)
+				if netsim.CompletedFraction(res) < 0.95 {
+					b.Fatal("flows did not complete")
+				}
+			}
+		})
+	}
 }
 
 func BenchmarkSlimFlyConstruction(b *testing.B) {

@@ -46,6 +46,7 @@ func main() {
 		full       = flag.Bool("full", false, "paper-scale runs instead of quick mode")
 		seed       = flag.Int64("seed", 42, "random seed")
 		parallel   = flag.Int("parallel", 0, "worker goroutines per experiment (0 = all cores)")
+		shards     = flag.Int("shards", 0, "event-loop shards per simulation (0 = serial); results are byte-identical at every value")
 		jsonOut    = flag.Bool("json", false, "emit a JSON array of tables instead of text")
 		quiet      = flag.Bool("quiet", false, "suppress the per-cell progress line on stderr")
 		metrics    = flag.Bool("metrics", false, "dump the metrics registry to stderr when done")
@@ -107,7 +108,7 @@ func main() {
 		prog.SetLabel(e.ID)
 		opts := experiments.Options{
 			Quick: !*full, Seed: *seed, Parallelism: *parallel,
-			Progress: prog.Hook(), RunName: e.ID,
+			Shards: *shards, Progress: prog.Hook(), RunName: e.ID,
 			Obs: reg, Telemetry: tel, Tracer: tracer,
 		}
 		start := time.Now()

@@ -29,6 +29,7 @@ func main() {
 		rho        = flag.Float64("rho", 0.6, "fraction of edges per sparsified layer")
 		scheme     = flag.String("scheme", "random", "layer construction: random, min-interference, spain, past")
 		seed       = flag.Int64("seed", 1, "random seed")
+		shards     = flag.Int("shards", 0, "default event-loop shards for simulations of this fabric (0 = serial); results are byte-identical at every value")
 		save       = flag.String("save", "", "write the layer configuration as JSON to this file (§V-B artifact)")
 		deadlock   = flag.Bool("deadlock", false, "run the channel-dependency (lossless deployment) analysis per layer")
 		metrics    = flag.Bool("metrics", false, "dump routing-core metrics to stderr when done")
@@ -55,7 +56,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cfg := core.Config{NumLayers: *n, Rho: *rho, Seed: *seed, Obs: reg}
+	if *shards < 0 {
+		fatal(fmt.Errorf("negative shard count %d", *shards))
+	}
+	cfg := core.Config{NumLayers: *n, Rho: *rho, Seed: *seed, Shards: *shards, Obs: reg}
 	switch *scheme {
 	case "random":
 		cfg.Scheme = core.RandomSampling

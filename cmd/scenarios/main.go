@@ -44,6 +44,7 @@ func main() {
 		spec       = flag.String("spec", "", "scenario matrix spec file (further files may follow as positional arguments)")
 		seed       = flag.Int64("seed", 42, "random seed")
 		parallel   = flag.Int("parallel", 0, "worker goroutines (0 = all cores)")
+		shards     = flag.Int("shards", 0, "event-loop shards per simulation unless the cell sets its own (0 = serial); results are byte-identical at every value")
 		jsonOut    = flag.Bool("json", false, "emit JSON instead of text tables")
 		cells      = flag.Bool("cells", false, "only expand and list the matrix cells, don't simulate")
 		quiet      = flag.Bool("quiet", false, "suppress the per-cell progress line on stderr")
@@ -111,8 +112,9 @@ func main() {
 		}
 		prog.SetLabel(m.Name)
 		opts := scenario.RunOptions{
-			Seed: *seed, Parallelism: *parallel, Progress: prog.Hook(),
-			Name: m.Name, Obs: reg, Telemetry: tel, Tracer: tracer,
+			Seed: *seed, Parallelism: *parallel, Shards: *shards,
+			Progress: prog.Hook(),
+			Name:     m.Name, Obs: reg, Telemetry: tel, Tracer: tracer,
 		}
 		start := time.Now()
 		results, err := scenario.RunSpecs(cs, opts)

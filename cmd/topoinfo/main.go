@@ -25,10 +25,16 @@ func main() {
 		size       = flag.String("size", "small", "size class: small or medium")
 		samples    = flag.Int("samples", 300, "sampled router pairs for CDP/PI")
 		seed       = flag.Int64("seed", 1, "random seed")
+		shards     = flag.Int("shards", 0, "accepted for interface parity with the other tools; topoinfo runs no simulations")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *shards < 0 {
+		fmt.Fprintf(os.Stderr, "topoinfo: negative shard count %d\n", *shards)
+		os.Exit(1)
+	}
 
 	stopProfiles, err := obs.StartProfiles(*cpuprofile, *memprofile)
 	if err != nil {

@@ -39,6 +39,12 @@ type Options struct {
 	// every value: cells derive their RNGs from (Seed, cell index) alone
 	// and rows merge in canonical cell order.
 	Parallelism int
+	// Shards is the per-simulation event-loop shard count (see
+	// netsim.Config.Shards): cell-level parallelism fans cells over
+	// workers, Shards splits each cell's event loop. Like Parallelism it is
+	// an execution knob — output is byte-identical for every value. 0 runs
+	// each simulation serially.
+	Shards int
 	// Progress, when non-nil, is called after each completed cell with the
 	// number of completed cells and the runner's total. Invocations may
 	// originate from worker goroutines but are serialized.
@@ -60,7 +66,7 @@ type Options struct {
 // coreCfg assembles the layer configuration for a runner's fabric build,
 // carrying the run's seed and instrumentation registry.
 func (o Options) coreCfg(layers int, rho float64) core.Config {
-	return core.Config{NumLayers: layers, Rho: rho, Seed: o.Seed, Obs: o.Obs, Tracer: o.Tracer}
+	return core.Config{NumLayers: layers, Rho: rho, Seed: o.Seed, Shards: o.Shards, Obs: o.Obs, Tracer: o.Tracer}
 }
 
 func (o Options) workers() int {

@@ -132,6 +132,7 @@ func runMatrices(o Options, ms ...*scenario.Matrix) ([]scenario.CellResult, erro
 	return scenario.RunSpecs(cells, scenario.RunOptions{
 		Seed:        o.Seed,
 		Parallelism: o.workers(),
+		Shards:      o.Shards,
 		Progress:    o.Progress,
 		Name:        o.RunName,
 		Obs:         o.Obs,
@@ -149,6 +150,9 @@ func runSeries(o Options, fab *core.Fabric, cfg netsim.Config, pat traffic.Patte
 		return nil, err
 	}
 	cfg.Tracer = o.Tracer
+	if cfg.Shards == 0 {
+		cfg.Shards = o.Shards
+	}
 	wl := core.Workload{Pattern: pat, FlowSize: traffic.FixedSize(size), Lambda: lambda}
 	return fab.RunWorkload(cfg, wl, horizon, seed), nil
 }

@@ -20,6 +20,9 @@ const (
 	Second      Time = 1000 * 1000 * 1000
 )
 
+// maxTime is the empty-heap sentinel.
+const maxTime = Time(1<<63 - 1)
+
 // Seconds converts a Time to floating-point seconds.
 func (t Time) Seconds() float64 { return float64(t) / 1e9 }
 
@@ -35,143 +38,147 @@ const (
 	evDeliver                  // pkt arrives at the far end of link
 )
 
-type event struct {
-	at   Time
-	seq  int64
-	kind eventKind
-	fn   func()  // evFunc only
-	link *link   // evTxDone, evDeliver
-	pkt  *Packet // evTxDone, evDeliver
+// Canonical event keys. Same-time events execute in ascending key order,
+// and keys are constructed so that the total (at, key) order is a property
+// of the simulated system alone — never of how partitions were grouped
+// into shards:
+//
+//   - Partition-local events (timers, tx-done) fold the owning partition id
+//     and that partition's private push counter. Within one partition,
+//     scheduling order is execution order, exactly as in the serial engine.
+//   - Link deliveries fold the link's globally stable id and a per-link
+//     transmit sequence. A delivery gets this key whether or not it crosses
+//     a shard boundary, so co-locating transmitter and receiver (S=1)
+//     yields the same order as separating them (S=8).
+//
+// The delivery class sorts after the local class at equal times, which is
+// well-defined either way; what matters is that the rule is fixed.
+func localKey(part int32, seq uint32) uint64 {
+	return uint64(uint32(part))<<32 | uint64(seq)
 }
 
-// eventHeap is a binary min-heap ordered by (at, seq). The sift operations
-// are hand-rolled rather than going through container/heap: the interface
-// indirection there boxes every pushed event into an allocation, and the
-// event queue is the simulator's hottest data structure.
-type eventHeap []event
-
-func (h eventHeap) less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+func deliverKey(linkID int32, seq uint32) uint64 {
+	return 1<<63 | uint64(uint32(linkID))<<32 | uint64(seq)
 }
 
-func (h eventHeap) siftUp(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !h.less(i, parent) {
-			break
-		}
-		h[i], h[parent] = h[parent], h[i]
-		i = parent
-	}
-}
-
-func (h eventHeap) siftDown(i int) {
-	n := len(h)
-	for {
-		kid := 2*i + 1
-		if kid >= n {
-			return
-		}
-		if r := kid + 1; r < n && h.less(r, kid) {
-			kid = r
-		}
-		if !h.less(kid, i) {
-			return
-		}
-		h[i], h[kid] = h[kid], h[i]
-		i = kid
-	}
-}
-
-// Engine is a deterministic discrete-event scheduler. Events scheduled for
-// the same instant execute in scheduling order.
+// Engine is a deterministic discrete-event scheduler, optionally sharded:
+// partitions (one per router, hosts riding with their router) are split
+// into contiguous blocks, each drained by its own worker goroutine under
+// conservative synchronization — a window of lookahead length is safe to
+// drain independently because every cross-partition event (a link
+// delivery) is scheduled at least one link delay ahead. Results are
+// byte-identical at every shard count; see the canonical-key comment.
 type Engine struct {
-	now    Time
-	seq    int64
-	events eventHeap
+	shards    []*Shard
+	partShard []int32 // partition id -> owning shard
+	lookahead Time
 
-	// Observability. The engine runs on one goroutine, so these are plain
-	// fields updated inline (no atomics on the hot loop); Sim.Run flushes
-	// them into the shared metrics registry afterwards. tracer is nil
-	// except for the single simulation that acquired the run's tracer.
-	executed int64
-	queueHW  int
-	tracer   *obs.Tracer
+	// now is the engine-wide clock: live during serial runs, and updated
+	// from the shard clocks when a parallel run returns. Engine.Now is only
+	// meaningful between runs — code executing on a shard uses Shard.Now.
+	now Time
+
+	// windows / stalls summarize parallel-run synchronization (flushed to
+	// the obs layer by Sim.Run). tracer is nil except for the single
+	// simulation that acquired the run's tracer; obs.Tracer is internally
+	// locked, so shard workers may record concurrently.
+	windows int64
+	tracer  *obs.Tracer
 }
 
-// NewEngine returns an engine at time 0.
-func NewEngine() *Engine { return &Engine{} }
+// NewEngine returns a serial (single-shard, single-partition) engine at
+// time 0 — the configuration every test helper and standalone use gets.
+func NewEngine() *Engine { return NewShardedEngine(1, 1, 0) }
 
-// Now returns the current simulation time.
+// NewShardedEngine returns an engine over parts partitions drained by
+// shards workers. lookahead is the conservative synchronization window —
+// the minimum delay of any cross-partition event — and must be positive
+// when shards > 1. Shard s owns the contiguous partition block
+// {p : p*shards/parts == s}.
+func NewShardedEngine(parts, shards int, lookahead Time) *Engine {
+	if parts < 1 {
+		parts = 1
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > parts {
+		shards = parts
+	}
+	if shards > 1 && lookahead <= 0 {
+		panic("netsim: sharded engine requires a positive lookahead (the minimum link delay)")
+	}
+	e := &Engine{
+		partShard: make([]int32, parts),
+		lookahead: lookahead,
+		shards:    make([]*Shard, shards),
+	}
+	for p := 0; p < parts; p++ {
+		e.partShard[p] = int32(p * shards / parts)
+	}
+	for s := range e.shards {
+		sh := &Shard{
+			eng:    e,
+			id:     int32(s),
+			partLo: -1,
+			occ:    make([]int64, len(obs.WindowOccupancyBuckets)+1),
+		}
+		if shards > 1 {
+			sh.outbox = make([][]outEvent, shards)
+		}
+		e.shards[s] = sh
+	}
+	for p := 0; p < parts; p++ {
+		sh := e.shards[e.partShard[p]]
+		if sh.partLo < 0 {
+			sh.partLo = int32(p)
+		}
+		sh.seq = append(sh.seq, 0)
+	}
+	return e
+}
+
+// NumShards reports the engine's worker count.
+func (e *Engine) NumShards() int { return len(e.shards) }
+
+// Now returns the current simulation time. Only meaningful between runs;
+// event callbacks read their shard's clock instead.
 func (e *Engine) Now() Time { return e.now }
 
-func (e *Engine) push(t Time, ev event) {
-	if t < e.now {
-		t = e.now
-	}
-	e.seq++
-	ev.at, ev.seq = t, e.seq
-	e.events = append(e.events, ev)
-	e.events.siftUp(len(e.events) - 1)
-	if len(e.events) > e.queueHW {
-		e.queueHW = len(e.events)
-	}
+// At schedules fn at absolute time t (>= now) on partition 0 — the serial
+// engine's scheduling entry point, also used for pre-run setup.
+func (e *Engine) At(t Time, fn func(*Shard)) { e.AtPart(t, 0, fn) }
+
+// AtPart schedules fn at absolute time t on the given partition. It must
+// not be called while a parallel run is draining (schedule through the
+// executing *Shard there); before Run, and on serial engines, it is the
+// ordinary front door.
+func (e *Engine) AtPart(t Time, part int32, fn func(*Shard)) {
+	e.shards[e.partShard[part]].at(part, t, fn)
 }
 
-// At schedules fn at absolute time t (>= now).
-func (e *Engine) At(t Time, fn func()) { e.push(t, event{kind: evFunc, fn: fn}) }
-
-// After schedules fn after delay d.
-func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
-
-// afterTxDone schedules the end of a packet's serialization on a link.
-func (e *Engine) afterTxDone(d Time, l *link, p *Packet) {
-	e.push(e.now+d, event{kind: evTxDone, link: l, pkt: p})
-}
-
-// afterDeliver schedules a packet's arrival at the far end of a link.
-func (e *Engine) afterDeliver(d Time, l *link, p *Packet) {
-	e.push(e.now+d, event{kind: evDeliver, link: l, pkt: p})
-}
-
-// Run executes events until the queue empties or the horizon passes.
-// It returns the number of events executed.
+// Run executes events until the queues empty or the horizon passes. It
+// returns the number of events executed.
 func (e *Engine) Run(until Time) int {
+	if len(e.shards) == 1 {
+		return e.runSerial(until)
+	}
+	return e.runParallel(until)
+}
+
+// runSerial is the single-shard fast path: no windows, no barriers, drain
+// straight to the horizon.
+func (e *Engine) runSerial(until Time) int {
+	sh := e.shards[0]
 	n := 0
-	for len(e.events) > 0 {
-		if e.events[0].at > until {
-			break
-		}
-		ev := e.events[0]
-		last := len(e.events) - 1
-		e.events[0] = e.events[last]
-		e.events[last] = event{} // clear fn/link/pkt for the GC
-		e.events = e.events[:last]
-		e.events.siftDown(0)
-		e.now = ev.at
-		e.executed++
-		if e.tracer != nil {
-			e.traceEvent(ev)
-		}
-		switch ev.kind {
-		case evFunc:
-			ev.fn()
-		case evTxDone:
-			l := ev.link
-			l.busy = false
-			l.kick()
-			e.afterDeliver(l.delay, l, ev.pkt)
-		case evDeliver:
-			ev.link.net.deliver(ev.link, ev.pkt)
-		}
+	for sh.heap.len() > 0 && sh.heap.minAt() <= until {
+		sh.step()
 		n++
 	}
-	if e.now < until && len(e.events) == 0 {
-		e.now = until
+	if sh.now < until && sh.heap.len() == 0 {
+		sh.now = until
 	}
+	e.now = sh.now
 	return n
 }
 
@@ -182,20 +189,21 @@ var eventTraceName = [...]string{evFunc: "timer", evTxDone: "tx-done", evDeliver
 // a periodic event-queue-depth counter track. Packet events land on a tid
 // derived from the packet's destination so per-flow activity separates
 // into rows in the viewer.
-func (e *Engine) traceEvent(ev event) {
-	ts := int64(e.now)
-	if !e.tracer.Active(ts) {
+func (sh *Shard) traceEvent(pay eventPayload) {
+	ts := int64(sh.now)
+	tr := sh.eng.tracer
+	if !tr.Active(ts) {
 		return
 	}
 	tid := 0
-	name := eventTraceName[ev.kind]
-	if ev.pkt != nil {
-		tid = 1 + int(ev.pkt.DstHost)%62
-		name = pktTraceName(name, ev.pkt)
+	name := eventTraceName[pay.kind]
+	if pay.pkt != nil {
+		tid = 1 + int(pay.pkt.DstHost)%62
+		name = pktTraceName(name, pay.pkt)
 	}
-	e.tracer.Instant("event", name, ts, tid)
-	if e.executed%64 == 0 {
-		e.tracer.CounterEvent("event_queue_depth", ts, int64(len(e.events)))
+	tr.Instant("event", name, ts, tid)
+	if sh.executed%64 == 0 {
+		tr.CounterEvent("event_queue_depth", ts, int64(sh.heap.len()))
 	}
 }
 
@@ -217,11 +225,32 @@ func pktTraceName(base string, p *Packet) string {
 // SetTracer attaches an acquired tracer to the engine's event loop.
 func (e *Engine) SetTracer(t *obs.Tracer) { e.tracer = t }
 
-// Executed returns the number of events executed so far.
-func (e *Engine) Executed() int64 { return e.executed }
+// Executed returns the number of events executed so far, summed over
+// shards.
+func (e *Engine) Executed() int64 {
+	var n int64
+	for _, sh := range e.shards {
+		n += sh.executed
+	}
+	return n
+}
 
-// QueueHighWater returns the largest event-queue depth reached.
-func (e *Engine) QueueHighWater() int { return e.queueHW }
+// QueueHighWater returns the largest event-queue depth any shard reached.
+func (e *Engine) QueueHighWater() int {
+	hw := 0
+	for _, sh := range e.shards {
+		if sh.queueHW > hw {
+			hw = sh.queueHW
+		}
+	}
+	return hw
+}
 
-// Pending returns the number of queued events.
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending returns the number of queued events across all shards.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, sh := range e.shards {
+		n += sh.heap.len()
+	}
+	return n
+}

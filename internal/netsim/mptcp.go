@@ -45,9 +45,9 @@ func (ms *mptcpSub) done() bool { return ms.cumAck >= ms.hi }
 
 // mptcpStart opens the subflows: the sequence space is split contiguously,
 // one range per usable layer.
-func (s *Sim) mptcpStart(f *flow) {
-	src := s.Topo.RouterOf(int(f.spec.Src))
-	dst := s.Topo.RouterOf(int(f.spec.Dst))
+func (s *Sim) mptcpStart(sh *Shard, f *flow) {
+	src := int(f.srcPart)
+	dst := int(f.dstPart)
 	var layersUsable []int8
 	for l := 0; l < s.Fwd.NumLayers() && len(layersUsable) < MPTCPSubflows; l++ {
 		if src == dst || s.Fwd.Reachable(l, src, dst) {
@@ -83,8 +83,8 @@ func (s *Sim) mptcpStart(f *flow) {
 	}
 	f.mptcp = subs
 	for _, ms := range subs {
-		s.mptcpTrySend(f, ms)
-		s.mptcpArmRTO(f, ms)
+		s.mptcpTrySend(sh, f, ms)
+		s.mptcpArmRTO(sh, f, ms)
 	}
 }
 
@@ -119,22 +119,22 @@ func (s *Sim) mptcpSubFor(f *flow, seq int32) *mptcpSub {
 	return nil
 }
 
-func (s *Sim) mptcpTrySend(f *flow, ms *mptcpSub) {
+func (s *Sim) mptcpTrySend(sh *Shard, f *flow, ms *mptcpSub) {
 	sent := false
 	for ms.nextNew < ms.hi {
 		if float64(ms.nextNew-ms.cumAck) >= ms.cwnd {
 			break
 		}
-		s.mptcpSendData(f, ms, ms.nextNew, false)
+		s.mptcpSendData(sh, f, ms, ms.nextNew, false)
 		ms.nextNew++
 		sent = true
 	}
 	if sent {
-		s.mptcpArmRTO(f, ms)
+		s.mptcpArmRTO(sh, f, ms)
 	}
 }
 
-func (s *Sim) mptcpSendData(f *flow, ms *mptcpSub, seq int32, retx bool) {
+func (s *Sim) mptcpSendData(sh *Shard, f *flow, ms *mptcpSub, seq int32, retx bool) {
 	size := f.mss + HeaderBytes
 	if int64(seq+1)*int64(f.mss) > f.spec.Bytes {
 		rem := f.spec.Bytes - int64(seq)*int64(f.mss)
@@ -143,7 +143,7 @@ func (s *Sim) mptcpSendData(f *flow, ms *mptcpSub, seq int32, retx bool) {
 		}
 		size = int32(rem) + HeaderBytes
 	}
-	p := newPacket()
+	p := sh.newPacket()
 	*p = Packet{
 		FlowID:  f.id,
 		SrcHost: f.spec.Src,
@@ -158,33 +158,33 @@ func (s *Sim) mptcpSendData(f *flow, ms *mptcpSub, seq int32, retx bool) {
 	if retx {
 		f.snd.retxCount++
 	} else {
-		f.snd.sendTime[seq] = s.Eng.Now()
+		f.snd.sendTime[seq] = sh.Now()
 	}
-	s.Net.sendFromHost(p)
+	s.Net.sendFromHost(sh, p)
 }
 
 // mptcpRecv dispatches receiver data and sender ACKs.
-func (s *Sim) mptcpRecv(f *flow, host int32, p *Packet) {
+func (s *Sim) mptcpRecv(sh *Shard, f *flow, host int32, p *Packet) {
 	switch p.Kind {
 	case KindData:
 		if host != f.spec.Dst {
 			return
 		}
-		s.mptcpDataAtReceiver(f, p)
+		s.mptcpDataAtReceiver(sh, f, p)
 	case KindAck:
 		if host != f.spec.Src {
 			return
 		}
-		s.mptcpAckAtSender(f, p)
+		s.mptcpAckAtSender(sh, f, p)
 	}
 }
 
-func (s *Sim) mptcpDataAtReceiver(f *flow, p *Packet) {
+func (s *Sim) mptcpDataAtReceiver(sh *Shard, f *flow, p *Packet) {
 	if !f.received[p.Seq] {
 		f.received[p.Seq] = true
 		f.numReceived++
 		if f.numReceived == f.total {
-			s.markDone(f)
+			s.markDone(sh, f)
 		}
 	}
 	// Per-subflow cumulative ACK: next expected within the packet's range.
@@ -196,7 +196,7 @@ func (s *Sim) mptcpDataAtReceiver(f *flow, p *Packet) {
 	for cum < ms.hi && f.received[cum] {
 		cum++
 	}
-	ack := newPacket()
+	ack := sh.newPacket()
 	*ack = Packet{
 		FlowID:  f.id,
 		SrcHost: f.spec.Dst,
@@ -208,10 +208,10 @@ func (s *Sim) mptcpDataAtReceiver(f *flow, p *Packet) {
 		ECN:     p.ECN,
 		Salt:    uint32(ms.lo), // identifies the subflow at the sender
 	}
-	s.Net.sendFromHost(ack)
+	s.Net.sendFromHost(sh, ack)
 }
 
-func (s *Sim) mptcpAckAtSender(f *flow, ack *Packet) {
+func (s *Sim) mptcpAckAtSender(sh *Shard, f *flow, ack *Packet) {
 	ms := s.mptcpSubFor(f, int32(ack.Salt))
 	if ms == nil {
 		return
@@ -221,7 +221,7 @@ func (s *Sim) mptcpAckAtSender(f *flow, ack *Packet) {
 	case cum > ms.cumAck:
 		newly := cum - ms.cumAck
 		if st := f.snd.sendTime[cum-1]; st > 0 {
-			s.mptcpUpdateRTT(ms, s.Eng.Now()-st, s.Cfg.RTOMin)
+			s.mptcpUpdateRTT(ms, sh.Now()-st, s.Cfg.RTOMin)
 		}
 		ms.cumAck = cum
 		ms.dupacks = 0
@@ -230,7 +230,7 @@ func (s *Sim) mptcpAckAtSender(f *flow, ack *Packet) {
 				ms.inRec = false
 				ms.cwnd = ms.ssthresh
 			} else {
-				s.mptcpSendData(f, ms, cum, true) // NewReno partial ACK
+				s.mptcpSendData(sh, f, ms, cum, true) // NewReno partial ACK
 			}
 		}
 		if !ms.inRec {
@@ -260,7 +260,7 @@ func (s *Sim) mptcpAckAtSender(f *flow, ack *Packet) {
 				ms.cwnd += float64(newly) * inc
 			}
 		}
-		s.mptcpArmRTO(f, ms)
+		s.mptcpArmRTO(sh, f, ms)
 	case cum == ms.cumAck && cum < ms.hi:
 		ms.dupacks++
 		if ms.dupacks == 3 && !ms.inRec {
@@ -271,13 +271,13 @@ func (s *Sim) mptcpAckAtSender(f *flow, ack *Packet) {
 			ms.cwnd = ms.ssthresh + 3
 			ms.inRec = true
 			ms.recover = ms.nextNew
-			s.mptcpSendData(f, ms, cum, true)
-			s.mptcpArmRTO(f, ms)
+			s.mptcpSendData(sh, f, ms, cum, true)
+			s.mptcpArmRTO(sh, f, ms)
 		} else if ms.inRec {
 			ms.cwnd++
 		}
 	}
-	s.mptcpTrySend(f, ms)
+	s.mptcpTrySend(sh, f, ms)
 }
 
 func (s *Sim) mptcpUpdateRTT(ms *mptcpSub, sample, rtoMin Time) {
@@ -301,18 +301,20 @@ func (s *Sim) mptcpUpdateRTT(ms *mptcpSub, sample, rtoMin Time) {
 	}
 }
 
-func (s *Sim) mptcpArmRTO(f *flow, ms *mptcpSub) {
+func (s *Sim) mptcpArmRTO(sh *Shard, f *flow, ms *mptcpSub) {
 	ms.rtoGen++
 	gen := ms.rtoGen
 	rto := ms.rto
 	if rto <= 0 {
 		rto = 1 * Millisecond
 	}
-	s.Eng.After(rto, func() { s.mptcpRTOFire(f, ms, gen) })
+	sh.after(f.srcPart, rto, func(sh *Shard) { s.mptcpRTOFire(sh, f, ms, gen) })
 }
 
-func (s *Sim) mptcpRTOFire(f *flow, ms *mptcpSub, gen int64) {
-	if gen != ms.rtoGen || f.done || ms.done() {
+func (s *Sim) mptcpRTOFire(sh *Shard, f *flow, ms *mptcpSub, gen int64) {
+	// Completion is judged per subflow from sender state alone (the
+	// receiver's done flag lives on another partition).
+	if gen != ms.rtoGen || ms.done() {
 		return
 	}
 	if ms.cumAck >= ms.nextNew {
@@ -331,6 +333,6 @@ func (s *Sim) mptcpRTOFire(f *flow, ms *mptcpSub, gen int64) {
 	}
 	f.snd.retxCount += int64(ms.nextNew - ms.cumAck)
 	ms.nextNew = ms.cumAck // go-back-N within the subflow
-	s.mptcpTrySend(f, ms)
-	s.mptcpArmRTO(f, ms)
+	s.mptcpTrySend(sh, f, ms)
+	s.mptcpArmRTO(sh, f, ms)
 }

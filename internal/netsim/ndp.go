@@ -15,25 +15,29 @@ package netsim
 //   - When the receiver sees trimmed packets it piggybacks a layer-change
 //     request on the next PULL; the sender then re-randomizes the flowlet
 //     layer (the LetFlow-over-layers adaptivity of §V-F).
-//   - A sender-side keepalive recovers from lost control packets.
+//   - A sender-side keepalive recovers from lost control packets. It stops
+//     when a FIN pull arrives: once the receiver holds the whole message it
+//     answers any further data with a FIN instead of a credit, giving the
+//     sender an explicit, sender-local completion signal (the sharded
+//     engine forbids the sender reading the receiver's done flag directly).
 
 // ndpStart launches a flow: the first RTT worth of packets at line rate.
-func (s *Sim) ndpStart(f *flow) {
+func (s *Sim) ndpStart(sh *Shard, f *flow) {
 	iw := int32(s.Cfg.InitialWindow)
 	if iw > f.total {
 		iw = f.total
 	}
 	for i := int32(0); i < iw; i++ {
-		s.ndpSendData(f, f.snd.nextNew, false)
+		s.ndpSendData(sh, f, f.snd.nextNew, false)
 		f.snd.nextNew++
 	}
-	f.snd.lastAct = s.Eng.Now()
-	s.ndpKeepalive(f)
+	f.snd.lastAct = sh.Now()
+	s.ndpKeepalive(sh, f)
 }
 
 // ndpSendData transmits one data packet (possibly a retransmission).
-func (s *Sim) ndpSendData(f *flow, seq int32, retx bool) {
-	s.pickRoute(f)
+func (s *Sim) ndpSendData(sh *Shard, f *flow, seq int32, retx bool) {
+	s.pickRoute(sh, f)
 	size := f.mss + HeaderBytes
 	if int64(seq+1)*int64(f.mss) > f.spec.Bytes {
 		rem := f.spec.Bytes - int64(seq)*int64(f.mss)
@@ -42,7 +46,7 @@ func (s *Sim) ndpSendData(f *flow, seq int32, retx bool) {
 		}
 		size = int32(rem) + HeaderBytes
 	}
-	p := newPacket()
+	p := sh.newPacket()
 	*p = Packet{
 		FlowID:  f.id,
 		SrcHost: f.spec.Src,
@@ -58,26 +62,26 @@ func (s *Sim) ndpSendData(f *flow, seq int32, retx bool) {
 		f.snd.retxCount++
 	}
 	f.snd.inflight++
-	s.Net.sendFromHost(p)
+	s.Net.sendFromHost(sh, p)
 }
 
 // ndpRecv handles both receiver-side data and sender-side pulls.
-func (s *Sim) ndpRecv(f *flow, host int32, p *Packet) {
+func (s *Sim) ndpRecv(sh *Shard, f *flow, host int32, p *Packet) {
 	switch p.Kind {
 	case KindData:
 		if host != f.spec.Dst {
 			return // stray
 		}
-		s.ndpDataAtReceiver(f, p)
+		s.ndpDataAtReceiver(sh, f, p)
 	case KindPull:
 		if host != f.spec.Src {
 			return
 		}
-		s.ndpPullAtSender(f, p)
+		s.ndpPullAtSender(sh, f, p)
 	}
 }
 
-func (s *Sim) ndpDataAtReceiver(f *flow, p *Packet) {
+func (s *Sim) ndpDataAtReceiver(sh *Shard, f *flow, p *Packet) {
 	wantLayerChange := false
 	if p.Trimmed {
 		f.trimsSeen++
@@ -86,39 +90,42 @@ func (s *Sim) ndpDataAtReceiver(f *flow, p *Packet) {
 		f.received[p.Seq] = true
 		f.numReceived++
 		if f.numReceived == f.total {
-			s.markDone(f)
+			s.markDone(sh, f)
 		}
 	}
 	if f.pendingLayer {
 		wantLayerChange = true
 		f.pendingLayer = false
 	}
-	if f.done && !p.Trimmed {
-		// Transfer complete: one final pull is unnecessary; stop pulling to
-		// quiesce the network.
+	if f.done {
+		// Transfer complete: answer with a FIN pull (no credit, no retx
+		// request) so the sender latches completion and its keepalive
+		// quiesces. Duplicates arriving later re-trigger the FIN, which
+		// also covers a lost one.
+		s.ndpSendPull(sh, f, p.Seq, false, false, true)
 		return
 	}
 	if p.Trimmed && f.received[p.Seq] {
 		// Duplicate of an already-received sequence got trimmed; still pull
 		// (it carries the layer-change hint) but do not request retx.
-		s.ndpSendPull(f, p.Seq, false, wantLayerChange)
+		s.ndpSendPull(sh, f, p.Seq, false, wantLayerChange, false)
 		return
 	}
-	s.ndpSendPull(f, p.Seq, p.Trimmed, wantLayerChange)
+	s.ndpSendPull(sh, f, p.Seq, p.Trimmed, wantLayerChange, false)
 }
 
 // ndpSendPull emits a paced PULL carrying the sequence it acknowledges
-// (or nacks, when trimmed) and the layer-change hint.
-func (s *Sim) ndpSendPull(f *flow, seq int32, wasTrimmed, layerChange bool) {
+// (or nacks, when trimmed), the layer-change hint, and the FIN flag.
+func (s *Sim) ndpSendPull(sh *Shard, f *flow, seq int32, wasTrimmed, layerChange, fin bool) {
 	host := f.spec.Dst
 	// Pace pulls at the access-link data rate (one per full-MTU time).
 	interval := Time(float64(s.Cfg.MTU*8) / s.Cfg.LinkBps * 1e9)
-	at := s.Eng.Now()
+	at := sh.Now()
 	if s.lastPull[host]+interval > at {
 		at = s.lastPull[host] + interval
 	}
 	s.lastPull[host] = at
-	pull := newPacket()
+	pull := sh.newPacket()
 	*pull = Packet{
 		FlowID:  f.id,
 		SrcHost: f.spec.Dst,
@@ -129,12 +136,19 @@ func (s *Sim) ndpSendPull(f *flow, seq int32, wasTrimmed, layerChange bool) {
 		Layer:   s.controlLayer(f.spec.Dst, f.spec.Src),
 		Trimmed: wasTrimmed,
 		ECN:     layerChange, // repurposed bit: "change layer" hint
+		Fin:     fin,
 	}
-	s.Eng.At(at, func() { s.Net.sendFromHost(pull) })
+	sh.at(f.dstPart, at, func(sh *Shard) { s.Net.sendFromHost(sh, pull) })
 }
 
-func (s *Sim) ndpPullAtSender(f *flow, pull *Packet) {
-	f.snd.lastAct = s.Eng.Now()
+func (s *Sim) ndpPullAtSender(sh *Shard, f *flow, pull *Packet) {
+	f.snd.lastAct = sh.Now()
+	if pull.Fin {
+		// Receiver has the whole message: stop sending, let the keepalive
+		// find the latch and die.
+		f.snd.finished = true
+		return
+	}
 	if f.snd.inflight > 0 {
 		f.snd.inflight--
 	}
@@ -154,11 +168,11 @@ func (s *Sim) ndpPullAtSender(f *flow, pull *Packet) {
 	if len(f.snd.retxQ) > 0 {
 		seq := f.snd.retxQ[0]
 		f.snd.retxQ = f.snd.retxQ[1:]
-		s.ndpSendData(f, seq, true)
+		s.ndpSendData(sh, f, seq, true)
 		return
 	}
 	if f.snd.nextNew < f.total {
-		s.ndpSendData(f, f.snd.nextNew, false)
+		s.ndpSendData(sh, f, f.snd.nextNew, false)
 		f.snd.nextNew++
 	}
 }
@@ -166,20 +180,20 @@ func (s *Sim) ndpPullAtSender(f *flow, pull *Packet) {
 // ndpKeepalive recovers from lost control packets: if nothing happened for
 // several RTOmin periods and the flow is incomplete, resend the lowest
 // sequence not known to be delivered.
-func (s *Sim) ndpKeepalive(f *flow) {
+func (s *Sim) ndpKeepalive(sh *Shard, f *flow) {
 	const idlePeriods = 4
-	s.Eng.After(Time(idlePeriods)*s.Cfg.RTOMin, func() {
-		if f.done {
+	sh.after(f.srcPart, Time(idlePeriods)*s.Cfg.RTOMin, func(sh *Shard) {
+		if f.snd.finished {
 			return
 		}
-		if s.Eng.Now()-f.snd.lastAct >= Time(idlePeriods)*s.Cfg.RTOMin {
+		if sh.Now()-f.snd.lastAct >= Time(idlePeriods)*s.Cfg.RTOMin {
 			// Rotate through undelivered sequences rather than hammering
 			// the lowest one: with lossy control paths the lowest may have
 			// arrived long ago while a later one is genuinely missing.
 			for probe := int32(0); probe < f.snd.nextNew; probe++ {
 				seq := (f.snd.kaNext + probe) % f.snd.nextNew
 				if !f.snd.delivered[seq] {
-					s.ndpSendData(f, seq, true)
+					s.ndpSendData(sh, f, seq, true)
 					f.snd.kaNext = seq + 1
 					break
 				}
@@ -187,11 +201,11 @@ func (s *Sim) ndpKeepalive(f *flow) {
 			if f.snd.nextNew < f.total {
 				// Also nudge a new packet in case all sent ones arrived but
 				// their pulls were lost.
-				s.ndpSendData(f, f.snd.nextNew, false)
+				s.ndpSendData(sh, f, f.snd.nextNew, false)
 				f.snd.nextNew++
 			}
-			f.snd.lastAct = s.Eng.Now()
+			f.snd.lastAct = sh.Now()
 		}
-		s.ndpKeepalive(f)
+		s.ndpKeepalive(sh, f)
 	})
 }

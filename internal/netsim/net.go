@@ -34,17 +34,24 @@ type Packet struct {
 	Trimmed bool   // payload dropped by a congested router (NDP mode)
 	Retx    bool   // retransmission (priority-queued in NDP mode)
 	ECN     bool   // congestion-experienced mark
+	Fin     bool   // NDP pull: transfer complete, sender may quiesce
 	Hops    int32  // router-router hops traversed (observability)
 }
 
 func (p *Packet) prio() bool { return p.Kind != KindData || p.Trimmed || p.Retx }
 
 // link is one direction of a full-duplex cable with an output queue at its
-// transmitter.
+// transmitter. Its mutable state (queues, busy flag, stats, delivery
+// sequence) is touched only by events of the transmitting partition, so a
+// link never needs a lock; id is a construction-order identifier that is
+// stable across shard counts and keys the canonical delivery order.
 type link struct {
 	net      *Network
+	id       int32
 	toRouter int32 // receiving router, or -1
 	toHost   int32 // receiving host, or -1
+	txPart   int32 // partition owning the transmit queue
+	rxPart   int32 // partition where deliveries execute
 
 	bps       float64
 	delay     Time
@@ -53,10 +60,11 @@ type link struct {
 	ecnThresh int // mark CE when data queue length reaches this (0 = off)
 	trimMode  bool
 
-	q      []*Packet
-	pq     []*Packet
-	busy   bool
-	failed bool // dead cable: every packet handed to it is lost (§V-G)
+	q          []*Packet
+	pq         []*Packet
+	busy       bool
+	failed     bool // dead cable: every packet handed to it is lost (§V-G)
+	deliverSeq uint32
 
 	// Stats.
 	Drops, Trims, TxPackets, TxBytes int64
@@ -71,20 +79,21 @@ func (l *link) txTime(b int32) Time {
 // enqueue places a packet into the transmitter queue, applying the
 // configured congestion behaviour: ECN marking, NDP payload trimming into
 // the priority queue (§III-C), or tail drop. Dropped packets return to the
-// shared pool — nothing references them once they leave the queues.
-func (l *link) enqueue(p *Packet) {
+// executing shard's arena — nothing references them once they leave the
+// queues.
+func (l *link) enqueue(sh *Shard, p *Packet) {
 	if l.failed {
 		l.failDrops++
-		l.net.free(p)
+		l.net.free(sh, p)
 		return
 	}
 	if p.prio() {
 		if len(l.pq) < l.pqcap {
 			l.pq = append(l.pq, p)
-			l.kick()
+			l.kick(sh)
 		} else {
 			l.Drops++
-			l.net.free(p)
+			l.net.free(sh, p)
 		}
 		return
 	}
@@ -93,7 +102,7 @@ func (l *link) enqueue(p *Packet) {
 			p.ECN = true
 		}
 		l.q = append(l.q, p)
-		l.kick()
+		l.kick(sh)
 		return
 	}
 	if l.trimMode {
@@ -104,20 +113,20 @@ func (l *link) enqueue(p *Packet) {
 		if len(l.pq) < l.pqcap {
 			l.Trims++
 			l.pq = append(l.pq, p)
-			l.kick()
+			l.kick(sh)
 		} else {
 			l.Drops++
-			l.net.free(p)
+			l.net.free(sh, p)
 		}
 		return
 	}
 	l.Drops++
-	l.net.free(p)
+	l.net.free(sh, p)
 }
 
 // kick starts transmitting if idle. Priority traffic (control packets,
 // trimmed headers, retransmissions) is served first (§III-C).
-func (l *link) kick() {
+func (l *link) kick(sh *Shard) {
 	if l.busy {
 		return
 	}
@@ -136,7 +145,7 @@ func (l *link) kick() {
 	l.TxBytes += int64(p.Bytes)
 	// Typed event: the engine frees the link, restarts it, and schedules
 	// the delivery — without allocating per-packet closures.
-	l.net.eng.afterTxDone(l.txTime(p.Bytes), l, p)
+	sh.afterTxDone(l.txTime(p.Bytes), l, p)
 }
 
 // queueLen reports the current data-queue occupancy (tests/observability).
@@ -155,25 +164,16 @@ type Network struct {
 	hostUp    []*link // host -> its router
 	hostDown  []*link // router -> host
 
-	hostRecv func(host int32, p *Packet)
-
-	// Stats.
-	DeliveredData int64
-
-	// Observability tallies, plain fields on the single-goroutine
-	// simulation path (flushed into the shared registry by Sim.Run):
-	// inflight counts live packets (injected, not yet delivered or
-	// dropped), inflightHW its high-water mark, and hopHist the
-	// router-router hops of each packet delivered to a host.
-	inflight   int64
-	inflightHW int64
-	hopHist    [maxHopBucket + 1]int64
+	hostRecv func(sh *Shard, host int32, p *Packet)
 }
 
 // maxHopBucket saturates the hop histogram's index.
 const maxHopBucket = 63
 
-// buildNetwork constructs links per the config.
+// buildNetwork constructs links per the config. Link ids follow
+// construction order — router-router edges first (both directions per
+// edge, in the topology's edge order), then host up/down pairs — which is
+// deterministic and independent of the shard count.
 func buildNetwork(eng *Engine, t *topo.Topology, fwd *layers.Forwarding, cfg Config) *Network {
 	n := &Network{
 		eng:       eng,
@@ -184,11 +184,15 @@ func buildNetwork(eng *Engine, t *topo.Topology, fwd *layers.Forwarding, cfg Con
 		hostUp:    make([]*link, t.N()),
 		hostDown:  make([]*link, t.N()),
 	}
-	mk := func(toRouter, toHost int32) *link {
-		return &link{
+	nextID := int32(0)
+	mk := func(txPart, rxPart, toRouter, toHost int32) *link {
+		l := &link{
 			net:       n,
+			id:        nextID,
 			toRouter:  toRouter,
 			toHost:    toHost,
+			txPart:    txPart,
+			rxPart:    rxPart,
 			bps:       cfg.LinkBps,
 			delay:     cfg.LinkDelay,
 			qcap:      cfg.QueueCap,
@@ -196,56 +200,59 @@ func buildNetwork(eng *Engine, t *topo.Topology, fwd *layers.Forwarding, cfg Con
 			ecnThresh: cfg.ECNThreshold,
 			trimMode:  cfg.TrimMode,
 		}
+		nextID++
+		return l
 	}
 	for r := 0; r < t.Nr(); r++ {
 		n.routerOut[r] = make(map[int32]*link, t.G.Degree(r))
 	}
 	for _, e := range t.G.Edges() {
-		n.routerOut[e.U][e.V] = mk(e.V, -1)
-		n.routerOut[e.V][e.U] = mk(e.U, -1)
+		n.routerOut[e.U][e.V] = mk(e.U, e.V, e.V, -1)
+		n.routerOut[e.V][e.U] = mk(e.V, e.U, e.U, -1)
 	}
 	for h := 0; h < t.N(); h++ {
 		r := int32(t.RouterOf(h))
-		n.hostUp[h] = mk(r, -1)
-		n.hostDown[h] = mk(-1, int32(h))
+		n.hostUp[h] = mk(r, r, r, -1)
+		n.hostDown[h] = mk(r, r, -1, int32(h))
 	}
 	return n
 }
 
-// sendFromHost injects a packet at its source host's uplink.
-func (n *Network) sendFromHost(p *Packet) {
-	n.inflight++
-	if n.inflight > n.inflightHW {
-		n.inflightHW = n.inflight
+// sendFromHost injects a packet at its source host's uplink. It must run
+// on the shard owning the source host's partition.
+func (n *Network) sendFromHost(sh *Shard, p *Packet) {
+	sh.inflight++
+	if sh.inflight > sh.inflightHW {
+		sh.inflightHW = sh.inflight
 	}
-	n.hostUp[p.SrcHost].enqueue(p)
+	n.hostUp[p.SrcHost].enqueue(sh, p)
 }
 
 // free retires a dead packet: the in-flight tally drops and the struct
-// returns to the pool.
-func (n *Network) free(p *Packet) {
-	n.inflight--
-	freePacket(p)
+// returns to the executing shard's arena.
+func (n *Network) free(sh *Shard, p *Packet) {
+	sh.inflight--
+	sh.freePacket(p)
 }
 
 // deliver handles a packet arriving at the receiving end of a link. A
 // packet handed to its destination host is dead once the transport handler
-// returns (no handler retains it) and goes back to the pool.
-func (n *Network) deliver(l *link, p *Packet) {
+// returns (no handler retains it) and goes back to the arena.
+func (n *Network) deliver(sh *Shard, l *link, p *Packet) {
 	if l.toHost >= 0 {
-		n.DeliveredData++
+		sh.delivered++
 		if p.Kind == KindData {
 			h := p.Hops
 			if h > maxHopBucket {
 				h = maxHopBucket
 			}
-			n.hopHist[h]++
+			sh.hopHist[h]++
 		}
-		n.hostRecv(l.toHost, p)
-		n.free(p)
+		n.hostRecv(sh, l.toHost, p)
+		n.free(sh, p)
 		return
 	}
-	n.forward(int(l.toRouter), p)
+	n.forward(sh, int(l.toRouter), p)
 }
 
 // forward routes a packet at a router: it hashes the packet onto the
@@ -254,10 +261,10 @@ func (n *Network) deliver(l *link, p *Packet) {
 // routing over the full topology, which is exactly layer 0. Packets of
 // one flowlet keep a consistent hop at every router; a new flowlet's
 // fresh salt re-hashes the whole path.
-func (n *Network) forward(r int, p *Packet) {
+func (n *Network) forward(sh *Shard, r int, p *Packet) {
 	dstRouter := n.topo.RouterOf(int(p.DstHost))
 	if r == dstRouter {
-		n.hostDown[p.DstHost].enqueue(p)
+		n.hostDown[p.DstHost].enqueue(sh, p)
 		return
 	}
 	p.Hops++
@@ -282,7 +289,17 @@ func (n *Network) forward(r int, p *Packet) {
 	} else {
 		next = hashNext(cands, r, p)
 	}
-	n.routerOut[r][next].enqueue(p)
+	n.routerOut[r][next].enqueue(sh, p)
+}
+
+// DeliveredData counts packets handed to their destination hosts, summed
+// over shards (read between runs).
+func (n *Network) DeliveredData() int64 {
+	var d int64
+	for _, sh := range n.eng.shards {
+		d += sh.delivered
+	}
+	return d
 }
 
 // TotalDrops sums packet drops over all links.

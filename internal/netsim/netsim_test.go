@@ -12,9 +12,9 @@ import (
 func TestEngineOrdering(t *testing.T) {
 	e := NewEngine()
 	var order []int
-	e.At(10, func() { order = append(order, 1) })
-	e.At(5, func() { order = append(order, 0) })
-	e.At(10, func() { order = append(order, 2) }) // same-time FIFO
+	e.At(10, func(*Shard) { order = append(order, 1) })
+	e.At(5, func(*Shard) { order = append(order, 0) })
+	e.At(10, func(*Shard) { order = append(order, 2) }) // same-time FIFO
 	n := e.Run(100)
 	if n != 3 {
 		t.Fatalf("executed %d events, want 3", n)
@@ -30,7 +30,7 @@ func TestEngineOrdering(t *testing.T) {
 func TestEngineHorizonStopsEarly(t *testing.T) {
 	e := NewEngine()
 	fired := false
-	e.At(1000, func() { fired = true })
+	e.At(1000, func(*Shard) { fired = true })
 	e.Run(500)
 	if fired {
 		t.Fatal("event beyond horizon must not fire")
@@ -388,7 +388,7 @@ func TestEngineOrderProperty(t *testing.T) {
 		n := 1 + rng.Intn(200)
 		for i := 0; i < n; i++ {
 			at := Time(rng.Intn(1000))
-			e.At(at, func() { times = append(times, e.Now()) })
+			e.At(at, func(sh *Shard) { times = append(times, sh.Now()) })
 		}
 		e.Run(10000)
 		for i := 1; i < len(times); i++ {

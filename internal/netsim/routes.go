@@ -1,9 +1,6 @@
 package netsim
 
-import (
-	"hash/fnv"
-	"sync"
-)
+import "hash/fnv"
 
 // Route lookup lives in internal/routing (surfaced through
 // layers.Forwarding): per-(layer, destination) multi-next-hop tables in
@@ -40,20 +37,8 @@ func hashNext(cands []int32, r int, p *Packet) int32 {
 	return cands[h.Sum32()%uint32(len(cands))]
 }
 
-// packetPool recycles Packet structs across all simulations in the
-// process, including successive replicates of the same fabric: a packet is
-// taken at each transmission site and returned when it dies (delivered to
-// its destination host, or dropped at a full queue or failed link).
-var packetPool = sync.Pool{New: func() interface{} { return new(Packet) }}
-
-// newPacket returns a Packet from the pool. Callers overwrite every field
-// (allocation sites assign a full composite literal), so no zeroing happens
-// here.
-func newPacket() *Packet { return packetPool.Get().(*Packet) }
-
-// freePacket returns a dead packet to the pool. The struct is zeroed so a
-// stale field read after free fails loudly rather than plausibly.
-func freePacket(p *Packet) {
-	*p = Packet{}
-	packetPool.Put(p)
-}
+// Packet recycling moved to per-shard arenas (Shard.newPacket /
+// Shard.freePacket): the old process-global sync.Pool serialized
+// concurrently running replicates on its shards' locks and bounced packet
+// structs between cores; a shard-local free list costs one slice append
+// with no synchronization at all.

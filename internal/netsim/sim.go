@@ -2,9 +2,9 @@ package netsim
 
 import (
 	"fmt"
-	"math/rand"
 	"strconv"
 
+	"repro/internal/exec"
 	"repro/internal/layers"
 	"repro/internal/obs"
 	"repro/internal/stats"
@@ -68,6 +68,13 @@ type Config struct {
 	Seed          int64
 	// SoftwareLatency models endpoint interrupt throttling (100 kHz).
 	SoftwareLatency Time
+
+	// Shards splits the event loop across this many worker goroutines with
+	// conservative lookahead synchronization (one LinkDelay). 0 or 1 runs
+	// serially. Results are byte-identical at every value — Shards is an
+	// execution knob, not a model parameter — so it never enters resource
+	// keys or golden baselines. Requires LinkDelay > 0 when > 1.
+	Shards int
 
 	// Metrics, when non-nil, receives the simulation's observability
 	// tallies when Run finishes. Hot paths accumulate into plain local
@@ -169,32 +176,48 @@ type Sim struct {
 	Topo *topo.Topology
 	Fwd  *layers.Forwarding
 
-	rng     *rand.Rand
 	flows   []*flow
 	results []FlowResult
 
-	// lastPull implements per-host pull pacing for NDP receivers.
+	// lastPull implements per-host pull pacing for NDP receivers. Each
+	// entry is touched only by its host's partition.
 	lastPull []Time
 
-	// Observability tallies (plain fields; flushed once by Run).
-	flowletReroutes int64
-	tcpTimeouts     int64
-	traced          bool
+	traced bool
 }
 
-// flow carries per-flow transport state (sender + receiver ends).
+// flow carries per-flow transport state (sender + receiver ends). Sender
+// fields are touched only by events of the source host's partition,
+// receiver fields only by the destination's; the immutable spec and the
+// completion flag are the narrow interface between the two (see the field
+// comments for the cross-partition rules).
 type flow struct {
 	id    int32
 	spec  FlowSpec
 	total int32 // packets
 	mss   int32
 
+	// srcPart / dstPart cache the endpoints' partitions (their routers).
+	srcPart, dstPart int32
+
+	// rngState is the flow's private SplitMix64 PRNG, seeded from
+	// (Config.Seed, flow id): flowlet salts and layer draws are a sender
+	// affair, and a per-flow stream keeps them deterministic regardless of
+	// how flows interleave across shards.
+	rngState uint64
+
 	// Routing / flowlet state (sender side).
 	layer    int8
 	salt     uint32
 	lastSend Time
 
-	// MPTCP subflows (TransportMPTCP only).
+	// reroutes counts flowlet layer re-selections (sender side; summed
+	// into the metrics bundle at flush).
+	reroutes int64
+
+	// MPTCP subflows: created by the sender's start event, read-only at
+	// the receiver (first data arrives >= 2 link delays — at least one
+	// full synchronization window — after creation).
 	mptcp []*mptcpSub
 
 	// Receiver state (shared by transports).
@@ -210,6 +233,24 @@ type flow struct {
 	snd senderState
 }
 
+// randU64 advances the flow's SplitMix64 stream.
+func (f *flow) randU64() uint64 {
+	f.rngState += 0x9E3779B97F4A7C15
+	z := f.rngState
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+func (f *flow) randUint32() uint32 { return uint32(f.randU64() >> 32) }
+
+// randIntn draws uniformly from [0, n); the modulo bias is negligible for
+// the tiny n (layer counts) drawn here.
+func (f *flow) randIntn(n int) int { return int(f.randU64() % uint64(n)) }
+
 // senderState is the union of per-transport sender variables.
 type senderState struct {
 	// Common.
@@ -223,6 +264,11 @@ type senderState struct {
 	inflight  int32
 	lastAct   Time
 	kaNext    int32 // keepalive retransmission rotor
+	// finished latches when a Fin pull arrives: the receiver has the whole
+	// message and the sender-side keepalive may stop. Sender-local — the
+	// sharded engine forbids the sender reading the receiver's done flag.
+	finished bool
+	timeouts int64 // TCP RTO firings (summed at flush)
 
 	// TCP.
 	cumAck       int32
@@ -251,7 +297,14 @@ func NewSim(t *topo.Topology, fwd *layers.Forwarding, cfg Config) *Sim {
 	if cfg.LinkBps == 0 {
 		panic("netsim: zero link bandwidth")
 	}
-	eng := NewEngine()
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > 1 && cfg.LinkDelay <= 0 {
+		panic("netsim: Shards > 1 requires a positive LinkDelay (the conservative lookahead)")
+	}
+	eng := NewShardedEngine(t.Nr(), shards, cfg.LinkDelay)
 	net := buildNetwork(eng, t, fwd, cfg)
 	s := &Sim{
 		Eng:      eng,
@@ -259,7 +312,6 @@ func NewSim(t *topo.Topology, fwd *layers.Forwarding, cfg Config) *Sim {
 		Cfg:      cfg,
 		Topo:     t,
 		Fwd:      fwd,
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		lastPull: make([]Time, t.N()),
 	}
 	net.hostRecv = s.hostRecv
@@ -288,10 +340,13 @@ func (s *Sim) AddFlow(spec FlowSpec) {
 		spec:     spec,
 		total:    total,
 		mss:      mss,
+		srcPart:  int32(s.Topo.RouterOf(int(spec.Src))),
+		dstPart:  int32(s.Topo.RouterOf(int(spec.Dst))),
+		rngState: uint64(exec.FoldSeed(s.Cfg.Seed, uint64(uint32(len(s.flows))))),
 		layer:    s.initialLayer(),
-		salt:     s.rng.Uint32(),
 		received: make([]bool, total),
 	}
+	f.salt = f.randUint32()
 	if spec.Pinned {
 		if int(spec.PinLayer) >= s.Fwd.NumLayers() || spec.PinLayer < 0 {
 			panic(fmt.Sprintf("netsim: pinned layer %d out of range", spec.PinLayer))
@@ -306,7 +361,7 @@ func (s *Sim) AddFlow(spec FlowSpec) {
 		f.snd.delivered = make([]bool, total)
 	}
 	s.flows = append(s.flows, f)
-	s.Eng.At(spec.Start, func() { s.startFlow(f) })
+	s.Eng.AtPart(spec.Start, f.srcPart, func(sh *Shard) { s.startFlow(sh, f) })
 }
 
 // controlLayer picks the layer for a control packet (ACK/PULL): always the
@@ -330,8 +385,8 @@ func (s *Sim) initialLayer() int8 {
 }
 
 // pickRoute applies the flowlet policy before transmitting a data packet.
-func (s *Sim) pickRoute(f *flow) {
-	now := s.Eng.Now()
+func (s *Sim) pickRoute(sh *Shard, f *flow) {
+	now := sh.Now()
 	if f.spec.Pinned {
 		f.lastSend = now
 		return
@@ -341,10 +396,10 @@ func (s *Sim) pickRoute(f *flow) {
 	case LBECMP:
 		// Static per-flow hash: nothing to do.
 	case LBPacketSpray:
-		f.salt = s.rng.Uint32()
+		f.salt = f.randUint32()
 	case LBLetFlow:
 		if newFlowlet {
-			f.salt = s.rng.Uint32()
+			f.salt = f.randUint32()
 		}
 	case LBFatPaths:
 		if newFlowlet {
@@ -353,7 +408,7 @@ func (s *Sim) pickRoute(f *flow) {
 			// spread over the layer's full within-layer ECMP candidate sets
 			// (§III-B), not a single frozen hop per (layer, pair).
 			s.reselectLayer(f)
-			f.salt = s.rng.Uint32()
+			f.salt = f.randUint32()
 		}
 	case LBMinimalLayer:
 		f.layer = 0
@@ -368,16 +423,16 @@ func (s *Sim) reselectLayer(f *flow) {
 	if f.spec.Pinned {
 		return
 	}
-	s.flowletReroutes++
+	f.reroutes++
 	n := s.Fwd.NumLayers()
 	if n <= 1 {
 		f.layer = 0
 		return
 	}
-	src := s.Topo.RouterOf(int(f.spec.Src))
-	dst := s.Topo.RouterOf(int(f.spec.Dst))
+	src := int(f.srcPart)
+	dst := int(f.dstPart)
 	for try := 0; try < 4; try++ {
-		cand := int8(s.rng.Intn(n))
+		cand := int8(f.randIntn(n))
 		if s.Fwd.Reachable(int(cand), src, dst) {
 			f.layer = cand
 			return
@@ -386,46 +441,46 @@ func (s *Sim) reselectLayer(f *flow) {
 	f.layer = 0
 }
 
-func (s *Sim) startFlow(f *flow) {
+func (s *Sim) startFlow(sh *Shard, f *flow) {
 	if s.traced {
-		now := int64(s.Eng.Now())
+		now := int64(sh.Now())
 		if s.Cfg.Tracer.Active(now) {
 			s.Cfg.Tracer.SpanBegin("flow", flowSpanName(f), strconv.Itoa(int(f.id)), now)
 		}
 	}
 	switch s.Cfg.Transport {
 	case TransportNDP:
-		s.ndpStart(f)
+		s.ndpStart(sh, f)
 	case TransportMPTCP:
-		s.mptcpStart(f)
+		s.mptcpStart(sh, f)
 	default:
-		s.tcpStart(f)
+		s.tcpStart(sh, f)
 	}
 }
 
 // hostRecv dispatches an arriving packet to the right transport handler.
-func (s *Sim) hostRecv(host int32, p *Packet) {
+func (s *Sim) hostRecv(sh *Shard, host int32, p *Packet) {
 	f := s.flows[p.FlowID]
 	switch s.Cfg.Transport {
 	case TransportNDP:
-		s.ndpRecv(f, host, p)
+		s.ndpRecv(sh, f, host, p)
 	case TransportMPTCP:
-		s.mptcpRecv(f, host, p)
+		s.mptcpRecv(sh, f, host, p)
 	default:
-		s.tcpRecv(f, host, p)
+		s.tcpRecv(sh, f, host, p)
 	}
 }
 
 // markDone finalizes a flow at the receiver.
-func (s *Sim) markDone(f *flow) {
+func (s *Sim) markDone(sh *Shard, f *flow) {
 	if f.done {
 		return
 	}
 	f.done = true
 	// Software/interrupt latency before the application sees the message.
-	f.finish = s.Eng.Now() + s.Cfg.SoftwareLatency
+	f.finish = sh.Now() + s.Cfg.SoftwareLatency
 	if s.traced {
-		ts := int64(s.Eng.Now())
+		ts := int64(sh.Now())
 		if s.Cfg.Tracer.Active(ts) {
 			s.Cfg.Tracer.SpanEnd("flow", flowSpanName(f), strconv.Itoa(int(f.id)), ts)
 		}
@@ -462,18 +517,42 @@ func (s *Sim) flushMetrics() {
 	if m == nil {
 		return
 	}
-	m.Events.Add(s.Eng.executed)
-	m.QueueHighWater.SetMax(int64(s.Eng.queueHW))
-	m.InflightHighWater.SetMax(s.Net.inflightHW)
-	m.FlowletReroutes.Add(s.flowletReroutes)
-	m.TCPTimeouts.Add(s.tcpTimeouts)
-	m.Drops.Add(s.Net.TotalDrops())
-	m.Trims.Add(s.Net.TotalTrims())
-	for i, c := range s.Net.hopHist {
-		if c > 0 {
-			m.PathHops.ObserveN(float64(i), c)
+	e := s.Eng
+	m.Events.Add(e.Executed())
+	m.QueueHighWater.SetMax(int64(e.QueueHighWater()))
+	var inflightHW int64
+	for _, sh := range e.shards {
+		if sh.inflightHW > 0 {
+			inflightHW += sh.inflightHW
+		}
+		m.ShardEvents.Observe(float64(sh.executed))
+		m.BarrierStalls.Add(sh.stalls)
+		for i, c := range sh.occ {
+			if c == 0 {
+				continue
+			}
+			v := windowOccupancyBounds[len(windowOccupancyBounds)-1] * 2
+			if i < len(windowOccupancyBounds) {
+				v = windowOccupancyBounds[i]
+			}
+			m.WindowOccupancy.ObserveN(v, c)
+		}
+		for i, c := range sh.hopHist {
+			if c > 0 {
+				m.PathHops.ObserveN(float64(i), c)
+			}
 		}
 	}
+	m.InflightHighWater.SetMax(inflightHW)
+	m.Drops.Add(s.Net.TotalDrops())
+	m.Trims.Add(s.Net.TotalTrims())
+	var reroutes, timeouts int64
+	for _, f := range s.flows {
+		reroutes += f.reroutes
+		timeouts += f.snd.timeouts
+	}
+	m.FlowletReroutes.Add(reroutes)
+	m.TCPTimeouts.Add(timeouts)
 	var completed, retx int64
 	for _, r := range s.results {
 		retx += r.Retx

@@ -5,6 +5,11 @@ package netsim
 // with fast recovery, retransmission timeouts with a 200µs floor and
 // exponential backoff, ECN echo, and — for DCTCP — the fractional window
 // law driven by the marked-byte estimate α.
+//
+// All sender handlers run on the source host's partition and all receiver
+// handlers on the destination's; completion is decided on each side from
+// its own state (cumAck at the sender, cumExpected at the receiver), never
+// by peeking across.
 
 const (
 	dctcpG       = 1.0 / 16 // DCTCP EWMA gain
@@ -13,37 +18,37 @@ const (
 )
 
 // tcpStart opens a flow in slow start.
-func (s *Sim) tcpStart(f *flow) {
+func (s *Sim) tcpStart(sh *Shard, f *flow) {
 	f.snd.cwnd = initialCwndF
 	if s.Cfg.InitialWindow > 0 {
 		f.snd.cwnd = float64(s.Cfg.InitialWindow)
 	}
 	f.snd.ssthresh = 1 << 20
 	f.snd.alphaWindowEnd = 0
-	s.tcpTrySend(f)
-	s.tcpArmRTO(f)
+	s.tcpTrySend(sh, f)
+	s.tcpArmRTO(sh, f)
 }
 
 // tcpTrySend transmits while the congestion window allows. Sending with an
 // idle retransmission timer re-arms it so tail losses cannot stall a flow.
-func (s *Sim) tcpTrySend(f *flow) {
+func (s *Sim) tcpTrySend(sh *Shard, f *flow) {
 	sent := false
 	for f.snd.nextNew < f.total {
 		inflight := float64(f.snd.nextNew - f.snd.cumAck)
 		if inflight >= f.snd.cwnd {
 			break
 		}
-		s.tcpSendData(f, f.snd.nextNew, false)
+		s.tcpSendData(sh, f, f.snd.nextNew, false)
 		f.snd.nextNew++
 		sent = true
 	}
 	if sent {
-		s.tcpArmRTO(f)
+		s.tcpArmRTO(sh, f)
 	}
 }
 
-func (s *Sim) tcpSendData(f *flow, seq int32, retx bool) {
-	s.pickRoute(f)
+func (s *Sim) tcpSendData(sh *Shard, f *flow, seq int32, retx bool) {
+	s.pickRoute(sh, f)
 	size := f.mss + HeaderBytes
 	if int64(seq+1)*int64(f.mss) > f.spec.Bytes {
 		rem := f.spec.Bytes - int64(seq)*int64(f.mss)
@@ -52,7 +57,7 @@ func (s *Sim) tcpSendData(f *flow, seq int32, retx bool) {
 		}
 		size = int32(rem) + HeaderBytes
 	}
-	p := newPacket()
+	p := sh.newPacket()
 	*p = Packet{
 		FlowID:  f.id,
 		SrcHost: f.spec.Src,
@@ -67,28 +72,28 @@ func (s *Sim) tcpSendData(f *flow, seq int32, retx bool) {
 	if retx {
 		f.snd.retxCount++
 	} else {
-		f.snd.sendTime[seq] = s.Eng.Now()
+		f.snd.sendTime[seq] = sh.Now()
 	}
-	s.Net.sendFromHost(p)
+	s.Net.sendFromHost(sh, p)
 }
 
 // tcpRecv dispatches data at the receiver and ACKs at the sender.
-func (s *Sim) tcpRecv(f *flow, host int32, p *Packet) {
+func (s *Sim) tcpRecv(sh *Shard, f *flow, host int32, p *Packet) {
 	switch p.Kind {
 	case KindData:
 		if host != f.spec.Dst {
 			return
 		}
-		s.tcpDataAtReceiver(f, p)
+		s.tcpDataAtReceiver(sh, f, p)
 	case KindAck:
 		if host != f.spec.Src {
 			return
 		}
-		s.tcpAckAtSender(f, p)
+		s.tcpAckAtSender(sh, f, p)
 	}
 }
 
-func (s *Sim) tcpDataAtReceiver(f *flow, p *Packet) {
+func (s *Sim) tcpDataAtReceiver(sh *Shard, f *flow, p *Packet) {
 	if !f.received[p.Seq] {
 		f.received[p.Seq] = true
 		f.numReceived++
@@ -97,11 +102,11 @@ func (s *Sim) tcpDataAtReceiver(f *flow, p *Packet) {
 		f.cumExpected++
 	}
 	if f.cumExpected == f.total {
-		s.markDone(f)
+		s.markDone(sh, f)
 	}
 	// Cumulative ACK; ECN echo reflects the CE mark of this data packet
 	// (per-packet echo, sufficient for the DCTCP estimator).
-	ack := newPacket()
+	ack := sh.newPacket()
 	*ack = Packet{
 		FlowID:  f.id,
 		SrcHost: f.spec.Dst,
@@ -112,10 +117,10 @@ func (s *Sim) tcpDataAtReceiver(f *flow, p *Packet) {
 		Layer:   s.controlLayer(f.spec.Dst, f.spec.Src),
 		ECN:     p.ECN,
 	}
-	s.Net.sendFromHost(ack)
+	s.Net.sendFromHost(sh, ack)
 }
 
-func (s *Sim) tcpAckAtSender(f *flow, ack *Packet) {
+func (s *Sim) tcpAckAtSender(sh *Shard, f *flow, ack *Packet) {
 	snd := &f.snd
 	cum := ack.Seq
 	switch {
@@ -123,7 +128,7 @@ func (s *Sim) tcpAckAtSender(f *flow, ack *Packet) {
 		newly := cum - snd.cumAck
 		// RTT sample from the highest newly acked original transmission.
 		if st := snd.sendTime[cum-1]; st > 0 {
-			s.tcpUpdateRTT(f, s.Eng.Now()-st)
+			s.tcpUpdateRTT(f, sh.Now()-st)
 		}
 		snd.cumAck = cum
 		snd.dupacks = 0
@@ -134,7 +139,7 @@ func (s *Sim) tcpAckAtSender(f *flow, ack *Packet) {
 			} else {
 				// NewReno partial ACK: the next hole is at cum —
 				// retransmit it immediately instead of waiting for an RTO.
-				s.tcpSendData(f, cum, true)
+				s.tcpSendData(sh, f, cum, true)
 			}
 		}
 		if !snd.inRecovery {
@@ -183,7 +188,7 @@ func (s *Sim) tcpAckAtSender(f *flow, ack *Packet) {
 				s.reselectLayer(f)
 			}
 		}
-		s.tcpArmRTO(f)
+		s.tcpArmRTO(sh, f)
 	case cum == snd.cumAck && cum < f.total:
 		snd.dupacks++
 		if snd.dupacks == 3 && !snd.inRecovery {
@@ -195,16 +200,16 @@ func (s *Sim) tcpAckAtSender(f *flow, ack *Packet) {
 			snd.cwnd = snd.ssthresh + 3
 			snd.inRecovery = true
 			snd.recover = snd.nextNew
-			s.tcpSendData(f, cum, true)
+			s.tcpSendData(sh, f, cum, true)
 			if s.Cfg.LB == LBFatPaths {
 				s.reselectLayer(f) // loss signals congestion on this layer
 			}
-			s.tcpArmRTO(f)
+			s.tcpArmRTO(sh, f)
 		} else if snd.inRecovery {
 			snd.cwnd++ // window inflation per dupack
 		}
 	}
-	s.tcpTrySend(f)
+	s.tcpTrySend(sh, f)
 }
 
 func (s *Sim) tcpUpdateRTT(f *flow, sample Time) {
@@ -229,8 +234,8 @@ func (s *Sim) tcpUpdateRTT(f *flow, sample Time) {
 	}
 }
 
-// tcpArmRTO (re)arms the retransmission timer.
-func (s *Sim) tcpArmRTO(f *flow) {
+// tcpArmRTO (re)arms the retransmission timer on the sender's partition.
+func (s *Sim) tcpArmRTO(sh *Shard, f *flow) {
 	snd := &f.snd
 	snd.rtoGen++
 	gen := snd.rtoGen
@@ -238,12 +243,14 @@ func (s *Sim) tcpArmRTO(f *flow) {
 	if rto <= 0 {
 		rto = 1 * Millisecond
 	}
-	s.Eng.After(rto, func() { s.tcpRTOFire(f, gen) })
+	sh.after(f.srcPart, rto, func(sh *Shard) { s.tcpRTOFire(sh, f, gen) })
 }
 
-func (s *Sim) tcpRTOFire(f *flow, gen int64) {
+func (s *Sim) tcpRTOFire(sh *Shard, f *flow, gen int64) {
 	snd := &f.snd
-	if gen != snd.rtoGen || f.done || snd.cumAck >= f.total {
+	// Completion is judged from sender state alone (cumAck): the receiver's
+	// done flag lives on another partition.
+	if gen != snd.rtoGen || snd.cumAck >= f.total {
 		return
 	}
 	if snd.cumAck >= snd.nextNew {
@@ -253,7 +260,7 @@ func (s *Sim) tcpRTOFire(f *flow, gen int64) {
 	// Timeout: multiplicative backoff, window collapse, go-back-N restart
 	// (retransmit everything from the first hole, as SACK-less Reno does;
 	// duplicates are discarded by the receiver).
-	s.tcpTimeouts++
+	snd.timeouts++
 	snd.ssthresh = snd.cwnd / 2
 	if snd.ssthresh < 2 {
 		snd.ssthresh = 2
@@ -267,9 +274,9 @@ func (s *Sim) tcpRTOFire(f *flow, gen int64) {
 	}
 	snd.retxCount += int64(snd.nextNew - snd.cumAck)
 	snd.nextNew = snd.cumAck
-	s.tcpTrySend(f)
+	s.tcpTrySend(sh, f)
 	if s.Cfg.LB == LBFatPaths {
 		s.reselectLayer(f)
 	}
-	s.tcpArmRTO(f)
+	s.tcpArmRTO(sh, f)
 }

@@ -41,6 +41,10 @@ type RunOptions struct {
 	// Tracer, when non-nil, is offered to cell 0 only (a deterministic
 	// choice); the first simulation of that cell records its event loop.
 	Tracer *obs.Tracer
+	// Shards is the default per-simulation event-loop shard count for cells
+	// that do not set Spec.Shards. Like Parallelism it is an execution knob:
+	// results are byte-identical for every value. 0 runs simulations serially.
+	Shards int
 }
 
 func (o RunOptions) workers() int {
@@ -225,6 +229,12 @@ func runCell(s Spec, cc *caches, o RunOptions, traced bool) (CellResult, error) 
 	}
 	if traced {
 		cfg.Tracer = o.Tracer
+	}
+	// Shards is an execution knob: it shapes how the event loop runs, never
+	// what it computes, so it stays out of the cache keys and seeds above.
+	cfg.Shards = s.Shards
+	if cfg.Shards == 0 {
+		cfg.Shards = o.Shards
 	}
 	horizon := netsim.Time(s.horizonMs() * 1e6)
 	workloadSeed := seedFor(runSeed, "workload|"+s.workloadKey())

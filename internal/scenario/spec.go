@@ -311,6 +311,12 @@ type Spec struct {
 	// MAT additionally computes the maximum achievable throughput of the
 	// compiled (fabric, pattern) cell (the §VI layered LP, eps 0.12).
 	MAT bool `json:"mat,omitempty"`
+	// Shards is the per-simulation event-loop shard count
+	// (netsim.Config.Shards). Execution knob, NOT a model parameter: results
+	// are byte-identical at every value, so it is deliberately excluded from
+	// the canonical cell Key and every derived resource seed. 0 defers to
+	// RunOptions.Shards.
+	Shards int `json:"shards,omitempty"`
 }
 
 // Scheme name tables. The zero value of each field is the first entry.
@@ -398,6 +404,9 @@ func (s Spec) Validate() error {
 	}
 	if s.Replicas < 0 {
 		return fmt.Errorf("scenario: negative replica count %d", s.Replicas)
+	}
+	if s.Shards < 0 {
+		return fmt.Errorf("scenario: negative shard count %d", s.Shards)
 	}
 	return nil
 }
