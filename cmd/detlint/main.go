@@ -1,0 +1,214 @@
+// Command detlint is the multichecker for the repository's determinism
+// contract: it compiles the internal/analysis suite (maprange,
+// globalrand, seedfold, syncpool, obsguard) into one binary.
+//
+// Standalone (the usual way — loads and type-checks the module itself,
+// no network, no toolchain cache needed):
+//
+//	go run ./cmd/detlint ./...
+//	go run ./cmd/detlint -rules maprange,seedfold ./internal/routing
+//
+// As a `go vet` backend (speaks the vet tool protocol: -V=full plus a
+// vet.cfg, type-checking from the build cache's export data):
+//
+//	go build -o /tmp/detlint ./cmd/detlint
+//	go vet -vettool=/tmp/detlint ./...
+//
+// Exit status: 0 clean, 1 usage/load failure, 2 diagnostics reported.
+// Suppressions: //det:allow <rule>[,<rule>] -- <reason> on the flagged
+// line or the line above. See the README "Determinism contract"
+// section for the rule catalog.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	// Vet tool protocol: `detlint -V=full` prints an identity line the go
+	// command uses as a cache key, `detlint -flags` describes the flags
+	// go vet may pass through, and `detlint [flags] <dir>/vet.cfg`
+	// analyzes one package described by the config file.
+	args := os.Args[1:]
+	if len(args) == 1 {
+		switch args[0] {
+		case "-V=full":
+			printVersion()
+			return
+		case "-flags":
+			printFlagDefs()
+			return
+		}
+	}
+	if len(args) > 0 && strings.HasSuffix(args[len(args)-1], ".cfg") {
+		os.Exit(runVetArgs(args))
+	}
+	os.Exit(runStandalone())
+}
+
+// printFlagDefs answers go vet's -flags probe: a JSON description of
+// the tool flags go vet should accept and pass through.
+func printFlagDefs() {
+	type flagDef struct {
+		Name  string `json:"Name"`
+		Bool  bool   `json:"Bool"`
+		Usage string `json:"Usage"`
+	}
+	out, _ := json.Marshal([]flagDef{
+		{Name: "rules", Bool: false, Usage: "comma-separated subset of rules to run (default: all)"},
+	})
+	fmt.Println(string(out))
+}
+
+// runVetArgs parses the pass-through flags ahead of the vet.cfg path
+// and dispatches to runVet.
+func runVetArgs(args []string) int {
+	fs := flag.NewFlagSet("detlint (vet mode)", flag.ContinueOnError)
+	rules := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	if err := fs.Parse(args); err != nil || fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "detlint: vet mode expects [flags] <vet.cfg>")
+		return 1
+	}
+	analyzers, err := selectAnalyzers(*rules)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		return 1
+	}
+	return runVet(fs.Arg(0), analyzers)
+}
+
+// printVersion emits "detlint version <id>" with a content hash of the
+// executable, so go vet's action cache invalidates when detlint changes.
+func printVersion() {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				id = fmt.Sprintf("%x", h.Sum(nil))[:16]
+			}
+			f.Close()
+		}
+	}
+	fmt.Printf("detlint version v1-%s\n", id)
+}
+
+// selectAnalyzers filters the suite by a comma-separated -rules list.
+func selectAnalyzers(rules string) ([]*analysis.Analyzer, error) {
+	all := analysis.Analyzers()
+	if rules == "" {
+		return all, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, r := range strings.Split(rules, ",") {
+		r = strings.TrimSpace(r)
+		a, ok := byName[r]
+		if !ok {
+			return nil, fmt.Errorf("unknown rule %q (have: maprange, globalrand, seedfold, syncpool, obsguard)", r)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// jsonDiag is the -json output record.
+type jsonDiag struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+func runStandalone() int {
+	fs := flag.NewFlagSet("detlint", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON lines")
+	rules := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	verbose := fs.Bool("v", false, "log analyzed packages to stderr")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: detlint [-rules r1,r2] [-json] [-v] <packages>\n  e.g.: detlint ./...\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(os.Args[1:])
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	analyzers, err := selectAnalyzers(*rules)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		return 1
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		return 1
+	}
+	loader, err := analysis.NewModuleLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		return 1
+	}
+	paths, err := loader.ExpandPatterns(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		return 1
+	}
+
+	exit := 0
+	for _, path := range paths {
+		if *verbose {
+			fmt.Fprintln(os.Stderr, "detlint:", path)
+		}
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "detlint:", err)
+			return 1
+		}
+		for _, d := range analysis.RunPackage(pkg, analyzers) {
+			exit = 2
+			if *jsonOut {
+				pos := d.Position(pkg.Fset)
+				rec, _ := json.Marshal(jsonDiag{pos.Filename, pos.Line, pos.Column, d.Rule, d.Message})
+				fmt.Println(string(rec))
+			} else {
+				fmt.Println(d.Format(pkg.Fset))
+			}
+		}
+	}
+	return exit
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above working directory")
+		}
+		dir = parent
+	}
+}

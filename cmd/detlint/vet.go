@@ -1,0 +1,133 @@
+package main
+
+// The `go vet -vettool` protocol: the go command invokes the tool once
+// per package with a single argument, the path to a JSON vet.cfg
+// describing the package's files and the export data of its
+// dependencies (already compiled into the build cache). We type-check
+// the listed files with the gc importer reading that export data — no
+// source re-checking, no network — run the suite, print diagnostics to
+// stderr, and exit 2 when any survive. Unlike x/tools' unitchecker we
+// carry no cross-package facts, so dependency configs (VetxOnly) are
+// satisfied trivially.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// vetConfig mirrors cmd/go's vetConfig (the fields we need).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	ModulePath                string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runVet(cfgPath string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "detlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// The go command caches the vetx (facts) output; we have no facts,
+	// but writing the file keeps the cache happy.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("detlint: no facts\n"), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "detlint:", err)
+			return 1
+		}
+	}
+	// Dependency-only runs and stdlib packages need no analysis: every
+	// detlint rule is package-local and targets this module's paths.
+	if cfg.VetxOnly || cfg.Standard[cfg.ImportPath] {
+		return 0
+	}
+
+	// Test variants reuse the base ImportPath with _test.go files merged
+	// into GoFiles. The determinism contract governs non-test source
+	// (tests assert it dynamically, and deliberately poke at ordering),
+	// so test files are excluded — matching standalone mode, which never
+	// parses them.
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "detlint:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return 0 // external test package: nothing but _test.go files
+	}
+
+	// Resolve imports through the gc importer against the export data
+	// the go command already built.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "source"
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	tconf := types.Config{Importer: importer.ForCompiler(fset, compiler, lookup)}
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "detlint: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	pkg := &analysis.Package{Dir: cfg.Dir, Path: cfg.ImportPath, Fset: fset, Files: files, Types: tpkg, Info: info}
+	exit := 0
+	for _, d := range analysis.RunPackage(pkg, analyzers) {
+		exit = 2
+		fmt.Fprintln(os.Stderr, d.Format(fset))
+	}
+	return exit
+}

@@ -1,0 +1,250 @@
+// Package analysis is detlint: a suite of static analyzers that enforce
+// the repository's determinism contract — the invariant, inherited from
+// the FatPaths reproduction's golden harness, that every table is
+// byte-identical at any worker count, shard count, and build order.
+//
+// The analyzers encode the rules the tree already follows dynamically:
+//
+//   - maprange: map iteration in ordering-sensitive packages must flow
+//     into a sort or an order-insensitive sink.
+//   - globalrand: no math/rand global state, time.Now, or os.Getpid in
+//     sim/output paths; randomness derives from exec.FoldSeed streams.
+//   - seedfold: exec.FoldSeed keys come from canonical resource keys,
+//     never from loop/cell indices.
+//   - syncpool: no sync.Pool in internal/netsim (per-shard arenas
+//     replaced it; a pool would reintroduce cross-shard sharing).
+//   - obsguard: obs hooks on simulator/routing hot paths stay nil-safe
+//     per internal/obs's zero-cost-when-disabled contract.
+//
+// The suite is intentionally self-contained: it reimplements the small
+// slice of golang.org/x/tools/go/analysis it needs (Analyzer, Pass,
+// diagnostics, an analysistest-style corpus runner) on top of the
+// standard library's go/ast and go/types, so the module keeps its
+// zero-dependency build. cmd/detlint compiles the suite into a
+// multichecker runnable standalone (`go run ./cmd/detlint ./...`) or as
+// a `go vet -vettool` backend.
+//
+// # Suppressions
+//
+// A diagnostic is suppressed by an explicit annotation on the flagged
+// line or the line directly above it:
+//
+//	//det:allow <rule>[,<rule>...] -- <reason>
+//
+// The reason is mandatory; a det:allow without one (or naming an unknown
+// rule) is itself a diagnostic. Suppressions are deliberate, documented
+// exceptions — the golden harness still re-proves the contract
+// dynamically behind every one of them.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named determinism rule.
+type Analyzer struct {
+	// Name is the rule name used in diagnostics and det:allow comments.
+	Name string
+	// Doc is a one-paragraph description of the rule.
+	Doc string
+	// Run reports the rule's diagnostics for one package via pass.Report.
+	Run func(*Pass)
+}
+
+// A Pass holds one type-checked package being analyzed by one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos unless a det:allow annotation for
+// this analyzer covers the position's line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     pos,
+		Rule:    p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one rule violation.
+type Diagnostic struct {
+	Pos     token.Pos
+	Rule    string
+	Message string
+}
+
+// Position resolves the diagnostic's file position against fset.
+func (d Diagnostic) Position(fset *token.FileSet) token.Position {
+	return fset.Position(d.Pos)
+}
+
+// String renders "file:line:col: rule: message" against fset.
+func (d Diagnostic) Format(fset *token.FileSet) string {
+	return fmt.Sprintf("%s: %s: %s", fset.Position(d.Pos), d.Rule, d.Message)
+}
+
+// Analyzers returns the full detlint suite in canonical order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		MapRangeAnalyzer,
+		GlobalRandAnalyzer,
+		SeedFoldAnalyzer,
+		SyncPoolAnalyzer,
+		ObsGuardAnalyzer,
+	}
+}
+
+// ruleNames returns the set of valid rule names for det:allow validation.
+func ruleNames() map[string]bool {
+	names := map[string]bool{}
+	for _, a := range Analyzers() {
+		names[a.Name] = true
+	}
+	return names
+}
+
+// allowRe matches the head of a det:allow annotation; the rest of the
+// comment is validated by parseAllow.
+var allowRe = regexp.MustCompile(`^//det:allow\b`)
+
+// allowKey identifies one (file, line, rule) suppression.
+type allowKey struct {
+	file string
+	line int
+	rule string
+}
+
+// suppressions is the per-package det:allow index plus any diagnostics
+// about malformed annotations (reported under the pseudo-rule
+// "detallow", which cannot itself be suppressed).
+type suppressions struct {
+	allow     map[allowKey]bool
+	malformed []Diagnostic
+}
+
+// parseAllow validates one det:allow comment and returns the rules it
+// names. Valid form: //det:allow rule[,rule...] -- reason
+func parseAllow(text string) (rules []string, err error) {
+	body := strings.TrimPrefix(text, "//det:allow")
+	ruleSpec, reason, found := strings.Cut(body, "--")
+	if !found || strings.TrimSpace(reason) == "" {
+		return nil, fmt.Errorf("det:allow needs a reason: //det:allow <rule> -- <reason>")
+	}
+	known := ruleNames()
+	for _, r := range strings.Split(ruleSpec, ",") {
+		r = strings.TrimSpace(r)
+		if r == "" {
+			continue
+		}
+		if !known[r] {
+			return nil, fmt.Errorf("det:allow names unknown rule %q", r)
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("det:allow names no rule: //det:allow <rule> -- <reason>")
+	}
+	return rules, nil
+}
+
+// indexSuppressions scans a package's comments for det:allow
+// annotations. An annotation suppresses matching diagnostics on its own
+// line and on the line below it (comment-above style).
+func indexSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	s := &suppressions{allow: map[allowKey]bool{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !allowRe.MatchString(c.Text) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rules, err := parseAllow(c.Text)
+				if err != nil {
+					s.malformed = append(s.malformed, Diagnostic{
+						Pos: c.Pos(), Rule: "detallow", Message: err.Error(),
+					})
+					continue
+				}
+				for _, r := range rules {
+					s.allow[allowKey{pos.Filename, pos.Line, r}] = true
+					s.allow[allowKey{pos.Filename, pos.Line + 1, r}] = true
+				}
+			}
+		}
+	}
+	return s
+}
+
+func (s *suppressions) covers(fset *token.FileSet, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	return s.allow[allowKey{pos.Filename, pos.Line, d.Rule}]
+}
+
+// RunPackage applies the analyzers to one loaded package and returns
+// the surviving diagnostics (suppressed ones dropped, malformed
+// det:allow annotations added) sorted by position.
+func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			diags:     &raw,
+		}
+		a.Run(pass)
+	}
+	sup := indexSuppressions(pkg.Fset, pkg.Files)
+	var out []Diagnostic
+	for _, d := range raw {
+		if !sup.covers(pkg.Fset, d) {
+			out = append(out, d)
+		}
+	}
+	out = append(out, sup.malformed...)
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := pkg.Fset.Position(out[i].Pos), pkg.Fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out
+}
+
+// pathMatches reports whether a package import path ends with the given
+// slash-separated suffix on a segment boundary — the rule-targeting
+// predicate. Matching by suffix (not exact path) lets the analysistest
+// corpora pose as ordering-sensitive packages.
+func pathMatches(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// inPackages reports whether the pass's package matches any of the
+// given path suffixes.
+func inPackages(pass *Pass, suffixes ...string) bool {
+	for _, s := range suffixes {
+		if pathMatches(pass.Pkg.Path(), s) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,122 @@
+package analysis
+
+// Small shared AST/type helpers for the analyzers.
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// pkgFunc returns the *types.Func behind a call expression when the
+// callee is a package-level function (not a method, not a builtin),
+// else nil. Works through parens and through selector or bare-ident
+// call syntax, so import aliasing cannot hide a callee.
+func pkgFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return nil
+	}
+	return fn
+}
+
+// usedObjects collects the objects of every identifier used below n.
+func eachUse(info *types.Info, n ast.Node, fn func(id *ast.Ident, obj types.Object)) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		if id, ok := c.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				fn(id, obj)
+			}
+		}
+		return true
+	})
+}
+
+// usesAny reports whether any identifier below n resolves to one of the
+// given objects.
+func usesAny(info *types.Info, n ast.Node, objs map[types.Object]bool) bool {
+	found := false
+	eachUse(info, n, func(_ *ast.Ident, obj types.Object) {
+		if objs[obj] {
+			found = true
+		}
+	})
+	return found
+}
+
+// declaredWithin reports whether obj's declaration lies inside [lo, hi]
+// — used to distinguish per-iteration locals from loop-external state.
+func declaredWithin(obj types.Object, lo, hi token.Pos) bool {
+	return obj.Pos() != token.NoPos && lo <= obj.Pos() && obj.Pos() <= hi
+}
+
+// exprString renders a (small) expression to canonical source text, for
+// structural comparison of guard conditions against guarded accesses.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	printer.Fprint(&buf, fset, e)
+	return buf.String()
+}
+
+// isNilIdent reports whether e is the predeclared nil.
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// terminates reports whether a block's execution cannot fall through to
+// the statement after the enclosing if — the shapes a nil-guard body
+// takes: return, continue, break, panic, or os.Exit / t.Fatal-style
+// calls are approximated by return/continue/break/goto/panic only.
+func terminates(block *ast.BlockStmt) bool {
+	if block == nil || len(block.List) == 0 {
+		return false
+	}
+	switch last := block.List[len(block.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// funcBodies walks every function body in the pass's files, handing the
+// enclosing declaration node (FuncDecl or FuncLit) and its body to fn.
+func funcBodies(files []*ast.File, fn func(decl ast.Node, body *ast.BlockStmt)) {
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					fn(d, d.Body)
+				}
+			case *ast.FuncLit:
+				fn(d, d.Body)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,92 @@
+package analysis
+
+// globalrand: the sim/output packages must draw every random number
+// from an explicitly seeded *rand.Rand (ultimately derived from
+// exec.FoldSeed) and must not read ambient process state. The global
+// math/rand functions share process-wide state seeded per-process,
+// time.Now/Since/Until and os.Getpid inject wall-clock and process
+// identity — any of them silently breaks replay-equals-rerun.
+//
+// Methods on *rand.Rand values are fine (the receiver carries the
+// seed); only the package-level global-state functions are flagged.
+// Telemetry wall-times are legitimate uses of time.Now — those sites
+// carry //det:allow globalrand annotations, because they may never leak
+// into table output.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// globalRandPackages are the packages whose outputs feed goldens: every
+// sim/output path. internal/obs is deliberately absent — telemetry
+// timestamps are wall-clock by design and never feed tables.
+var globalRandPackages = []string{
+	"internal/routing",
+	"internal/layers",
+	"internal/netsim",
+	"internal/experiments",
+	"internal/scenario",
+	"internal/stats",
+	"internal/topo",
+	"internal/graph",
+	"internal/traffic",
+	"internal/diversity",
+	"internal/core",
+	"internal/exec",
+	"internal/lp",
+	"internal/mcf",
+}
+
+// globalRandFuncs are the math/rand package-level functions backed by
+// the shared global Source. Constructors (New, NewSource, NewZipf) are
+// fine: they produce explicitly seeded generators.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+}
+
+var GlobalRandAnalyzer = &Analyzer{
+	Name: "globalrand",
+	Doc:  "no math/rand global state, time.Now/Since/Until, or os.Getpid in sim/output paths",
+	Run:  runGlobalRand,
+}
+
+func runGlobalRand(pass *Pass) {
+	if !inPackages(pass, globalRandPackages...) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "math/rand", "math/rand/v2":
+				if globalRandFuncs[fn.Name()] {
+					pass.Reportf(id.Pos(), "%s.%s uses process-global RNG state; derive randomness from an exec.FoldSeed-seeded rand.New instead", fn.Pkg().Path(), fn.Name())
+				}
+			case "time":
+				switch fn.Name() {
+				case "Now", "Since", "Until":
+					pass.Reportf(id.Pos(), "time.%s reads the wall clock in a sim/output path; simulations must be a pure function of their seed", fn.Name())
+				}
+			case "os":
+				if fn.Name() == "Getpid" {
+					pass.Reportf(id.Pos(), "os.Getpid injects process identity into a sim/output path")
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,337 @@
+package analysis
+
+// obsguard enforces both sides of internal/obs's zero-cost-when-
+// disabled contract:
+//
+//   - Producer side (internal/obs): every exported pointer-receiver
+//     method must be nil-safe — either it opens with an
+//     `if recv == nil` guard, or it touches the receiver only through
+//     nil comparisons and calls to other nil-safe methods of the same
+//     type (computed to fixpoint, so delegating helpers like
+//     Histogram.Observe → ObserveN qualify).
+//
+//   - Consumer side (internal/netsim, internal/routing — the sim hot
+//     paths): reading a FIELD of a nil-able obs bundle
+//     (*obs.SimMetrics, *obs.RoutingMetrics, ...) dereferences the
+//     pointer, so every such access must sit under a dominating nil
+//     check of the same expression (`if m == nil { return }` /
+//     `if m != nil { ... }`). Method calls need no guard — that is the
+//     point of the contract: the disabled path costs one nil check at
+//     the bundle boundary and nothing per call.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+var obsConsumerPackages = []string{
+	"internal/netsim",
+	"internal/routing",
+}
+
+var ObsGuardAnalyzer = &Analyzer{
+	Name: "obsguard",
+	Doc:  "obs hooks on sim hot paths must be nil-safe per internal/obs's zero-cost contract",
+	Run:  runObsGuard,
+}
+
+func runObsGuard(pass *Pass) {
+	if inPackages(pass, "internal/obs") {
+		runObsProducer(pass)
+	}
+	if inPackages(pass, obsConsumerPackages...) {
+		runObsConsumer(pass)
+	}
+}
+
+// --- producer side -------------------------------------------------
+
+func runObsProducer(pass *Pass) {
+	info := pass.TypesInfo
+
+	// Collect pointer-receiver methods grouped by receiver named type.
+	type method struct {
+		decl *ast.FuncDecl
+		recv types.Object // the receiver variable
+	}
+	methods := map[*types.TypeName]map[string]method{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 || fd.Body == nil {
+				continue
+			}
+			field := fd.Recv.List[0]
+			star, ok := field.Type.(*ast.StarExpr)
+			if !ok {
+				continue // value receivers cannot be nil
+			}
+			base := ast.Unparen(star.X)
+			if ix, ok := base.(*ast.IndexExpr); ok { // generic receiver
+				base = ast.Unparen(ix.X)
+			}
+			id, ok := base.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			tn, ok := info.Uses[id].(*types.TypeName)
+			if !ok {
+				continue
+			}
+			var recvObj types.Object
+			if len(field.Names) == 1 {
+				recvObj = info.Defs[field.Names[0]]
+			}
+			if methods[tn] == nil {
+				methods[tn] = map[string]method{}
+			}
+			methods[tn][fd.Name.Name] = method{decl: fd, recv: recvObj}
+		}
+	}
+
+	for tn, ms := range methods {
+		// Fixpoint over this type's methods: guarded methods seed the safe
+		// set; delegation closes over it.
+		safe := map[string]bool{}
+		for name, m := range ms {
+			if m.recv == nil || firstStmtNilGuard(info, m.recv, m.decl.Body) {
+				safe[name] = true
+			}
+		}
+		for changed := true; changed; {
+			changed = false
+			for name, m := range ms {
+				if safe[name] {
+					continue
+				}
+				if recvUsesAreSafe(pass, m.recv, m.decl.Body, safe) {
+					safe[name] = true
+					changed = true
+				}
+			}
+		}
+		for name, m := range ms {
+			if !ast.IsExported(name) || safe[name] {
+				continue
+			}
+			rn := "recv"
+			if m.recv != nil {
+				rn = m.recv.Name()
+			}
+			pass.Reportf(m.decl.Name.Pos(), "exported method (*%s).%s is not nil-safe: start with `if %s == nil { return }` or touch the receiver only via nil-safe methods", tn.Name(), name, rn)
+		}
+	}
+}
+
+// firstStmtNilGuard reports whether body opens with
+// `if recv == nil [|| ...] { <terminating> }`.
+func firstStmtNilGuard(info *types.Info, recv types.Object, body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	ifst, ok := body.List[0].(*ast.IfStmt)
+	if !ok || !terminates(ifst.Body) {
+		return false
+	}
+	return condHasNilEq(info, ifst.Cond, recv)
+}
+
+// condHasNilEq reports whether cond contains `recv == nil` as a
+// top-level disjunct (x == nil, x == nil || ..., ... || x == nil).
+func condHasNilEq(info *types.Info, cond ast.Expr, recv types.Object) bool {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LOR:
+			return condHasNilEq(info, e.X, recv) || condHasNilEq(info, e.Y, recv)
+		case token.EQL:
+			return isObjIdent(info, e.X, recv) && isNilIdent(info, e.Y) ||
+				isObjIdent(info, e.Y, recv) && isNilIdent(info, e.X)
+		}
+	}
+	return false
+}
+
+func isObjIdent(info *types.Info, e ast.Expr, obj types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && info.Uses[id] == obj
+}
+
+// recvUsesAreSafe reports whether every use of recv in body is a nil
+// comparison or a call to a method in the safe set.
+func recvUsesAreSafe(pass *Pass, recv types.Object, body *ast.BlockStmt, safe map[string]bool) bool {
+	if recv == nil {
+		return true // receiver unnamed: body cannot touch it
+	}
+	info := pass.TypesInfo
+	ok := true
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if !ok {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.BinaryExpr:
+			// Permit `recv == nil` / `recv != nil` comparisons wholesale.
+			if (e.Op == token.EQL || e.Op == token.NEQ) &&
+				(isObjIdent(info, e.X, recv) && isNilIdent(info, e.Y) ||
+					isObjIdent(info, e.Y, recv) && isNilIdent(info, e.X)) {
+				return false
+			}
+		case *ast.CallExpr:
+			// Permit recv.M(args...) when M is safe; args still walked.
+			if sel, okSel := ast.Unparen(e.Fun).(*ast.SelectorExpr); okSel &&
+				isObjIdent(info, sel.X, recv) && safe[sel.Sel.Name] {
+				for _, a := range e.Args {
+					ast.Inspect(a, walk)
+				}
+				return false
+			}
+		case *ast.Ident:
+			if info.Uses[e] == recv {
+				ok = false
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	return ok
+}
+
+// --- consumer side -------------------------------------------------
+
+// runObsConsumer flags unguarded field reads of nil-able obs pointers
+// in the hot-path packages.
+func runObsConsumer(pass *Pass) {
+	info := pass.TypesInfo
+	funcBodies(pass.Files, func(_ ast.Node, body *ast.BlockStmt) {
+		guards := collectNilGuards(pass, body)
+		ast.Inspect(body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection, ok := info.Selections[sel]
+			if !ok || selection.Kind() != types.FieldVal {
+				return true
+			}
+			if !isObsPointer(info.Types[sel.X].Type) {
+				return true
+			}
+			base := exprString(pass.Fset, sel.X)
+			if guards.covers(base, sel.Pos()) {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "field %s of nil-able obs bundle %s is read without a dominating nil check; guard with `if %s == nil { return }` or `if %s != nil { ... }`", sel.Sel.Name, base, base, base)
+			return true
+		})
+	})
+}
+
+// isObsPointer reports whether t is a pointer to a named type declared
+// in the module's obs package.
+func isObsPointer(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	ptr, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return pathMatches(named.Obj().Pkg().Path(), "internal/obs")
+}
+
+// nilGuards maps a guarded expression's source text to the position
+// ranges where it is known non-nil.
+type nilGuards struct {
+	regions map[string][]posRange
+}
+
+type posRange struct{ lo, hi token.Pos }
+
+func (g *nilGuards) add(expr string, lo, hi token.Pos) {
+	if g.regions == nil {
+		g.regions = map[string][]posRange{}
+	}
+	g.regions[expr] = append(g.regions[expr], posRange{lo, hi})
+}
+
+func (g *nilGuards) covers(expr string, pos token.Pos) bool {
+	for _, r := range g.regions[expr] {
+		if r.lo <= pos && pos <= r.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// collectNilGuards scans a function body for the nil-check shapes the
+// contract sanctions and records the regions they dominate:
+//
+//	if x == nil { return/continue/break/panic } → rest of the body
+//	if x != nil { ... }                         → the if body
+//	if x == nil { ... } else { ... }            → the else block
+//
+// Guards on ANDed conditions (`if x != nil && y`) guard their body too.
+func collectNilGuards(pass *Pass, body *ast.BlockStmt) *nilGuards {
+	g := &nilGuards{}
+	info := pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifst, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		for _, expr := range nilCheckedExprs(info, ifst.Cond, token.NEQ) {
+			s := exprString(pass.Fset, expr)
+			g.add(s, ifst.Body.Pos(), ifst.Body.End())
+		}
+		for _, expr := range nilCheckedExprs(info, ifst.Cond, token.EQL) {
+			s := exprString(pass.Fset, expr)
+			if terminates(ifst.Body) {
+				g.add(s, ifst.End(), body.End())
+			}
+			if ifst.Else != nil {
+				g.add(s, ifst.Else.Pos(), ifst.Else.End())
+			}
+		}
+		return true
+	})
+	return g
+}
+
+// nilCheckedExprs returns the expressions compared to nil with op
+// (token.NEQ within &&-chains, token.EQL within ||-chains).
+func nilCheckedExprs(info *types.Info, cond ast.Expr, op token.Token) []ast.Expr {
+	var out []ast.Expr
+	chain := token.LAND
+	if op == token.EQL {
+		chain = token.LOR
+	}
+	var walk func(e ast.Expr)
+	walk = func(e ast.Expr) {
+		bin, ok := ast.Unparen(e).(*ast.BinaryExpr)
+		if !ok {
+			return
+		}
+		if bin.Op == chain {
+			walk(bin.X)
+			walk(bin.Y)
+			return
+		}
+		if bin.Op != op {
+			return
+		}
+		if isNilIdent(info, bin.Y) {
+			out = append(out, bin.X)
+		} else if isNilIdent(info, bin.X) {
+			out = append(out, bin.Y)
+		}
+	}
+	walk(cond)
+	return out
+}

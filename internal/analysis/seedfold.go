@@ -1,0 +1,130 @@
+package analysis
+
+// seedfold: exec.FoldSeed keys must be canonical resource keys (hashes
+// of topology/routing/transport descriptors, flow identifiers, layer
+// indices...), never the index of whatever loop happens to surround the
+// call. Folding on a loop index re-introduces the pre-PR4 bug class:
+// two cells that share a workload-defining key get different seeds (or
+// two different resources share one) as soon as the enumeration order
+// or cell count changes, silently breaking replay-equals-rerun.
+//
+// The analyzer flags FoldSeed calls whose arguments read an enclosing
+// for-loop induction variable or a slice/array/string range index.
+// Ranging over a map key is not an index (the key IS the resource), and
+// range *values* are fine — `for _, key := range keys` yields canonical
+// keys. The check is syntactic per function: deriving an index into a
+// local first and folding on that is not caught, and genuinely
+// index-keyed derivations (exec's own documented cellIndex contract)
+// carry //det:allow seedfold annotations.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+var SeedFoldAnalyzer = &Analyzer{
+	Name: "seedfold",
+	Doc:  "exec.FoldSeed keys must be canonical resource keys, never loop/cell indices",
+	Run:  runSeedFold,
+}
+
+func runSeedFold(pass *Pass) {
+	funcBodies(pass.Files, func(_ ast.Node, body *ast.BlockStmt) {
+		checkSeedFold(pass, body, map[types.Object]bool{})
+	})
+}
+
+// checkSeedFold walks stmts keeping the set of live induction-variable
+// objects, and reports FoldSeed calls that read any of them.
+func checkSeedFold(pass *Pass, n ast.Node, indexVars map[types.Object]bool) {
+	info := pass.TypesInfo
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch st := c.(type) {
+		case *ast.ForStmt:
+			inner := cloneObjSet(indexVars)
+			// Variables declared in the init clause and mutated by the post
+			// clause are induction variables.
+			if init, ok := st.Init.(*ast.AssignStmt); ok {
+				for _, lhs := range init.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						if obj := info.Defs[id]; obj != nil {
+							inner[obj] = true
+						} else if obj := info.Uses[id]; obj != nil {
+							inner[obj] = true
+						}
+					}
+				}
+			}
+			if st.Init != nil {
+				checkSeedFold(pass, st.Init, indexVars)
+			}
+			if st.Cond != nil {
+				checkSeedFold(pass, st.Cond, inner)
+			}
+			if st.Post != nil {
+				checkSeedFold(pass, st.Post, inner)
+			}
+			checkSeedFold(pass, st.Body, inner)
+			return false
+		case *ast.RangeStmt:
+			inner := cloneObjSet(indexVars)
+			// The key var is a positional index when ranging over a
+			// slice/array/string or an integer; over a map or channel the key
+			// is the element itself, and over an iterator function we cannot
+			// tell, so we stay quiet.
+			if id, ok := st.Key.(*ast.Ident); ok && id.Name != "_" && rangeKeyIsIndex(info, st) {
+				if obj := info.Defs[id]; obj != nil {
+					inner[obj] = true
+				} else if obj := info.Uses[id]; obj != nil {
+					inner[obj] = true
+				}
+			}
+			checkSeedFold(pass, st.X, indexVars)
+			checkSeedFold(pass, st.Body, inner)
+			return false
+		case *ast.CallExpr:
+			if isFoldSeedCall(info, st) {
+				for _, arg := range st.Args {
+					eachUse(info, arg, func(id *ast.Ident, obj types.Object) {
+						if indexVars[obj] {
+							pass.Reportf(id.Pos(), "exec.FoldSeed folds on loop index %q; fold on a canonical resource key instead (see internal/exec)", id.Name)
+						}
+					})
+				}
+			}
+		}
+		return true
+	})
+}
+
+// rangeKeyIsIndex reports whether the range key variable is a
+// positional index for the ranged operand.
+func rangeKeyIsIndex(info *types.Info, st *ast.RangeStmt) bool {
+	tv, ok := info.Types[st.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.Underlying().(type) {
+	case *types.Slice, *types.Array, *types.Pointer:
+		return true
+	case *types.Basic:
+		// range over string (byte offsets) or integer (range-over-int).
+		return t.Info()&(types.IsString|types.IsInteger) != 0
+	}
+	return false
+}
+
+// isFoldSeedCall reports whether call invokes FoldSeed from the
+// module's exec package.
+func isFoldSeedCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := pkgFunc(info, call)
+	return fn != nil && fn.Name() == "FoldSeed" && pathMatches(fn.Pkg().Path(), "internal/exec")
+}
+
+func cloneObjSet(s map[types.Object]bool) map[types.Object]bool {
+	out := make(map[types.Object]bool, len(s)+2)
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}

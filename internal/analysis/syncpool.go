@@ -1,0 +1,42 @@
+package analysis
+
+// syncpool: PR 7 replaced internal/netsim's process-global packet
+// sync.Pool with per-shard arenas — a pool shares buffers across
+// shards, which both serializes the shard workers on the pool's
+// internals and (worse) makes allocation reuse depend on scheduling,
+// the exact cross-shard coupling the sharded event loop's determinism
+// contract forbids. Any reappearance of sync.Pool in netsim is a
+// regression; other packages are free to use it.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+var SyncPoolAnalyzer = &Analyzer{
+	Name: "syncpool",
+	Doc:  "no sync.Pool in internal/netsim; per-shard arenas own packet recycling",
+	Run:  runSyncPool,
+}
+
+func runSyncPool(pass *Pass) {
+	if !inPackages(pass, "internal/netsim") {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Uses[id].(*types.TypeName)
+			if !ok || obj.Pkg() == nil {
+				return true
+			}
+			if obj.Pkg().Path() == "sync" && obj.Name() == "Pool" {
+				pass.Reportf(id.Pos(), "sync.Pool in internal/netsim shares buffers across shards; use the per-shard arena (see Shard.freePacket)")
+			}
+			return true
+		})
+	}
+}

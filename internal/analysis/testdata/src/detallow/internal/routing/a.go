@@ -1,0 +1,18 @@
+// Corpus for det:allow annotation validation: malformed annotations
+// are reported under the unsuppressible pseudo-rule "detallow".
+package routing
+
+//det:allow maprange // want `det:allow needs a reason`
+func noReason() {}
+
+//det:allow bogusrule -- misspelled rule // want `unknown rule "bogusrule"`
+func unknownRule() {}
+
+//det:allow -- a reason without any rule // want `names no rule`
+func noRule() {}
+
+// A well-formed annotation parses quietly even when nothing on the next
+// line needs suppressing.
+//
+//det:allow maprange -- corpus: valid annotation, nothing to suppress
+func valid() {}

@@ -1,0 +1,40 @@
+// Corpus for the globalrand analyzer: no process-global randomness,
+// wall clock, or process identity in sim/output packages.
+package netsim
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Package-level math/rand functions share process-global state.
+func drawGlobal() float64 {
+	return rand.Float64() // want `process-global RNG state`
+}
+
+// Explicitly seeded generators are the sanctioned source.
+func drawSeeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// Wall clock reads break replay-equals-rerun.
+func stamp() int64 {
+	return time.Now().UnixNano() // want `reads the wall clock`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `reads the wall clock`
+}
+
+// Process identity is ambient state.
+func pid() int {
+	return os.Getpid() // want `process identity`
+}
+
+// Telemetry wall-times are legitimate when annotated.
+func allowedStamp() time.Time {
+	//det:allow globalrand -- corpus: wall-clock telemetry never feeds tables
+	return time.Now()
+}

@@ -1,0 +1,120 @@
+// Corpus for the maprange analyzer. The package poses as a real
+// ordering-sensitive package via its import-path suffix.
+package routing
+
+import "sort"
+
+// Float accumulation in map order rounds nondeterministically.
+func sumFloats(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `floating-point accumulation`
+		sum += v
+	}
+	return sum
+}
+
+// Collected keys that never reach a sort stay in map order.
+func keysUnsorted(m map[int]bool) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k) // want `never sorted in this function`
+	}
+	return keys
+}
+
+// Collect-then-sort is the sanctioned pattern.
+func keysSorted(m map[int]bool) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Integer counting commutes exactly.
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// The high-water `if v > best { best = v }` idiom commutes.
+func maxVal(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// So does the max builtin.
+func maxBuiltin(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		best = max(best, v)
+	}
+	return best
+}
+
+// Keyed stores indexed by the iteration element are order-insensitive.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// ...unless the stored value reads the destination slot (append-to-slot
+// builds slices whose element order is the iteration order).
+func adjacency(edges map[[2]int]bool) map[int][]int {
+	adj := map[int][]int{}
+	for e := range edges { // want `own previous value`
+		adj[e[0]] = append(adj[e[0]], e[1])
+	}
+	return adj
+}
+
+// Assign-form range leaks the last-iterated element.
+func assignForm(m map[string]int) string {
+	var last string
+	for last = range m { // want `assigns elements to outer variables`
+	}
+	return last
+}
+
+// A bare call may observe iteration order through side effects.
+func emit(m map[string]int, f func(string)) {
+	for k := range m { // want `order-dependent side effects`
+		f(k)
+	}
+}
+
+// An annotated loop is a documented exception.
+func emitAllowed(m map[string]int, f func(string)) {
+	//det:allow maprange -- corpus: callback is order-insensitive by contract
+	for k := range m {
+		f(k)
+	}
+}
+
+// String concatenation depends on iteration order.
+func join(m map[string]bool) string {
+	var s string
+	for k := range m { // want `string concatenation`
+		s += k
+	}
+	return s
+}
+
+// Deferred calls run in (reverse) iteration order.
+func deferring(m map[string]func()) {
+	for _, f := range m { // want `defer inside a map range`
+		defer f()
+	}
+}

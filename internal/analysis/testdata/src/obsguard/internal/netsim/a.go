@@ -1,0 +1,59 @@
+// Corpus for the obsguard analyzer's consumer side: reading a field of
+// a nil-able obs bundle on a sim hot path needs a dominating nil check;
+// method calls need none (the methods are nil-safe by the producer
+// rule).
+package netsim
+
+import "obsguard/internal/obs"
+
+// An unguarded field read dereferences the possibly-nil bundle.
+func unguardedField(c *obs.Counter) int64 {
+	return c.N // want `read without a dominating nil check`
+}
+
+// An early-return nil guard dominates the rest of the body.
+func guardedEarlyReturn(c *obs.Counter) int64 {
+	if c == nil {
+		return 0
+	}
+	return c.N
+}
+
+// A non-nil branch guards its own body.
+func guardedBranch(c *obs.Counter) int64 {
+	if c != nil {
+		return c.N
+	}
+	return 0
+}
+
+// Method calls are the contract's whole point: no guard needed.
+func methodCall(c *obs.Counter) {
+	c.Add(1)
+}
+
+type engine struct {
+	m *obs.Counter
+}
+
+// Guards match on the full selector expression, not just identifiers.
+func (e *engine) tick() {
+	if e.m == nil {
+		return
+	}
+	e.m.N++
+}
+
+// A guard on a different expression does not cover this one.
+func (e *engine) wrongGuard(other *obs.Counter) {
+	if other == nil {
+		return
+	}
+	e.m.N++ // want `read without a dominating nil check`
+}
+
+// Annotated sites are documented exceptions.
+func (e *engine) allowed() int64 {
+	//det:allow obsguard -- corpus: caller constructs e.m unconditionally
+	return e.m.N
+}

@@ -1,0 +1,51 @@
+// Corpus for the obsguard analyzer's producer side: every exported
+// pointer-receiver method of the obs package must be nil-safe.
+package obs
+
+// Counter is a minimal nil-safe metric.
+type Counter struct {
+	N int64
+}
+
+// Add opens with the canonical nil guard.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.N += d
+}
+
+// Inc only touches the receiver through a nil-safe method, so the
+// fixpoint marks it safe without its own guard.
+func (c *Counter) Inc() {
+	c.Add(1)
+}
+
+// Value guards with a disjunction; the nil arm still terminates.
+func (c *Counter) Value() int64 {
+	if c == nil || c.N < 0 {
+		return 0
+	}
+	return c.N
+}
+
+// Get dereferences an unguarded receiver.
+func (c *Counter) Get() int64 { // want `not nil-safe`
+	return c.N
+}
+
+// bump is unsafe but unexported: callers inside the package own the
+// invariant, so it is not reported.
+func (c *Counter) bump() {
+	c.N++
+}
+
+// Gauge has a value receiver, which can never be nil.
+type Gauge struct {
+	V float64
+}
+
+// Value on a value receiver needs no guard.
+func (g Gauge) Value() float64 {
+	return g.V
+}

@@ -1,0 +1,9 @@
+// Corpus stub for repro/internal/exec: the seedfold analyzer matches
+// FoldSeed by name and import-path suffix, so this stub stands in for
+// the real package.
+package exec
+
+// FoldSeed derives a child seed for cell from seed (stub).
+func FoldSeed(seed int64, cell uint64) int64 {
+	return seed ^ int64(cell)
+}

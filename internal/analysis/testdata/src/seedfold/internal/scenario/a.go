@@ -1,0 +1,52 @@
+// Corpus for the seedfold analyzer: FoldSeed keys must be canonical
+// resource keys, never loop indices.
+package scenario
+
+import "seedfold/internal/exec"
+
+// Folding on a classic for-loop induction variable ties seeds to
+// enumeration order.
+func badForLoop(seed int64, n int) []int64 {
+	var out []int64
+	for i := 0; i < n; i++ {
+		out = append(out, exec.FoldSeed(seed, uint64(i))) // want `folds on loop index "i"`
+	}
+	return out
+}
+
+// A slice range key is a positional index too.
+func badRangeIndex(seed int64, keys []uint64) []int64 {
+	var out []int64
+	for i := range keys {
+		out = append(out, exec.FoldSeed(seed, uint64(i))) // want `folds on loop index "i"`
+	}
+	return out
+}
+
+// Range values are the resources themselves: fine.
+func goodRangeValue(seed int64, keys []uint64) []int64 {
+	var out []int64
+	for _, k := range keys {
+		out = append(out, exec.FoldSeed(seed, k))
+	}
+	return out
+}
+
+// A map key is the resource, not an index: fine.
+func goodMapKey(seed int64, keys map[uint64]bool) map[uint64]int64 {
+	out := make(map[uint64]int64, len(keys))
+	for k := range keys {
+		out[k] = exec.FoldSeed(seed, k)
+	}
+	return out
+}
+
+// Documented index-keyed derivations carry an annotation.
+func allowedIndex(seed int64, n int) []int64 {
+	var out []int64
+	for i := 0; i < n; i++ {
+		//det:allow seedfold -- corpus: replicate number is the resource key here by design
+		out = append(out, exec.FoldSeed(seed, uint64(i)))
+	}
+	return out
+}

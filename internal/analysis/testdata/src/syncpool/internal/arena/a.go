@@ -1,0 +1,10 @@
+// Corpus: sync.Pool outside internal/netsim is unrestricted.
+package arena
+
+import "sync"
+
+var pool sync.Pool
+
+func get() any {
+	return pool.Get()
+}

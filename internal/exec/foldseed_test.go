@@ -1,0 +1,107 @@
+package exec
+
+// Distribution and collision properties of FoldSeed. The determinism
+// contract leans on two facts: distinct cells get distinct seeds (the
+// SplitMix64 finalizer is a bijection per base seed, so collisions are
+// impossible, not just unlikely), and adjacent cells get statistically
+// independent seeds (so replicate 7 and replicate 8 do not run
+// correlated workloads).
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// TestFoldSeedNoCollisions exercises the bijectivity claim over a large
+// contiguous cell range and over scattered ranges at extreme offsets,
+// for several base seeds including adversarial ones.
+func TestFoldSeedNoCollisions(t *testing.T) {
+	// The last entry is the SplitMix64 increment itself reinterpreted as
+	// an int64 — an adversarial base seed for the mixer.
+	seeds := []int64{0, 1, -1, 42, 1 << 62, -(1 << 62), -7046029254386353131}
+	for _, seed := range seeds {
+		seen := make(map[int64]uint64, 1<<17)
+		check := func(cell uint64) {
+			s := FoldSeed(seed, cell)
+			if prev, ok := seen[s]; ok {
+				t.Fatalf("seed %d: cells %d and %d collide on %#x", seed, prev, cell, s)
+			}
+			seen[s] = cell
+		}
+		for cell := uint64(0); cell < 1<<16; cell++ {
+			check(cell)
+		}
+		// Scattered high ranges: the shared-tag space (>= 1<<32) must not
+		// collide with the dense low cell indices either.
+		for _, base := range []uint64{1 << 32, 1 << 48, ^uint64(0) - 1<<12} {
+			for off := uint64(0); off < 1<<12; off++ {
+				check(base + off)
+			}
+		}
+	}
+}
+
+// TestFoldSeedBaseSeedsIndependent checks that two base seeds produce
+// disjoint streams over a shared cell range — folding must mix the base
+// seed, not just offset by it.
+func TestFoldSeedBaseSeedsIndependent(t *testing.T) {
+	const n = 1 << 15
+	seen := make(map[int64]bool, 2*n)
+	for _, seed := range []int64{12345, 12346} {
+		for cell := uint64(0); cell < n; cell++ {
+			s := FoldSeed(seed, cell)
+			if seen[s] {
+				t.Fatalf("seed value %#x produced by both base seeds within %d cells", s, n)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+// TestFoldSeedAvalanche: flipping the cell by one should flip about half
+// of the 64 output bits on average (SplitMix64's finalizer avalanche).
+// A weak mixer here would correlate adjacent replicates' workloads.
+func TestFoldSeedAvalanche(t *testing.T) {
+	const n = 1 << 14
+	var totalFlips int
+	minFlips := 64
+	for cell := uint64(0); cell < n; cell++ {
+		a := uint64(FoldSeed(7, cell))
+		b := uint64(FoldSeed(7, cell+1))
+		f := bits.OnesCount64(a ^ b)
+		totalFlips += f
+		if f < minFlips {
+			minFlips = f
+		}
+	}
+	mean := float64(totalFlips) / n
+	if mean < 30 || mean > 34 {
+		t.Errorf("mean avalanche %.2f bits, want ~32", mean)
+	}
+	// Even the worst adjacent pair should differ in many bits.
+	if minFlips < 10 {
+		t.Errorf("weakest adjacent pair differs in only %d bits", minFlips)
+	}
+}
+
+// TestFoldSeedBitBalance: across many cells, each of the 64 output bit
+// positions should be set about half the time.
+func TestFoldSeedBitBalance(t *testing.T) {
+	const n = 1 << 15
+	var ones [64]int
+	for cell := uint64(0); cell < n; cell++ {
+		s := uint64(FoldSeed(99, cell))
+		for b := 0; b < 64; b++ {
+			if s&(1<<b) != 0 {
+				ones[b]++
+			}
+		}
+	}
+	for b, c := range ones {
+		frac := float64(c) / n
+		// 5-sigma band for a fair coin over n trials (~0.5 ± 0.0138).
+		if frac < 0.48 || frac > 0.52 {
+			t.Errorf("bit %d set in %.4f of outputs, want ~0.5", b, frac)
+		}
+	}
+}

@@ -139,17 +139,20 @@ func (c *Cell) AddRowf(cells ...interface{}) { c.tab.AddRowf(cells...) }
 func runCells(o Options, tab *stats.Table, n int, fn func(c *Cell) error) error {
 	var mu sync.Mutex
 	done := 0
+	//det:allow globalrand -- wall-clock telemetry (cell timings) is observational and never feeds table output
 	start := time.Now()
 	rows, err := exec.ParallelMapLabeled(o.workers(), n,
 		func(i int) string { return fmt.Sprintf("%s cell %d", o.RunName, i) },
 		func(i int) ([][]string, error) {
 			seed := exec.FoldSeed(o.Seed, uint64(i))
 			c := &Cell{Index: i, Seed: seed, Rng: graph.NewRand(seed)}
+			//det:allow globalrand -- wall-clock telemetry (cell timings) is observational and never feeds table output
 			cellStart := time.Now()
 			err := fn(c)
 			if o.Telemetry != nil {
 				rec := obs.CellRecord{
 					Type: "cell", Name: o.RunName, Index: i,
+					//det:allow globalrand -- wall-clock telemetry (cell timings) is observational and never feeds table output
 					WallMs:        time.Since(cellStart).Seconds() * 1e3,
 					StartOffsetMs: cellStart.Sub(start).Seconds() * 1e3,
 				}

@@ -67,6 +67,7 @@ func AnalyzeDeadlock(f *Forwarding, ls *LayerSet, layer int) DeadlockReport {
 	}
 	// Cycle check on the dependency graph via iterative DFS coloring.
 	adj := make(map[int][]int, len(used))
+	//det:allow maprange -- adjacency lists feed only the cycle-existence check below; acyclicity does not depend on edge or visit order
 	for key := range deps {
 		c1 := int(key / m2)
 		c2 := int(key % m2)

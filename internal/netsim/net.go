@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"fmt"
+	"slices"
 
 	"repro/internal/layers"
 	"repro/internal/topo"
@@ -343,10 +344,19 @@ func (n *Network) LinkUtilization(elapsed Time) (mean, max float64) {
 	if elapsed <= 0 {
 		return 0, 0
 	}
+	// Iterate neighbor maps in sorted order: float accumulation rounds
+	// differently per order, so summing in map order would make the low
+	// bits of the reported mean depend on the runtime's map hashing.
 	var sum float64
 	count := 0
 	for _, m := range n.routerOut {
-		for _, l := range m {
+		nbrs := make([]int32, 0, len(m))
+		for v := range m {
+			nbrs = append(nbrs, v)
+		}
+		slices.Sort(nbrs)
+		for _, v := range nbrs {
+			l := m[v]
 			busy := float64(l.TxBytes*8) / l.bps / elapsed.Seconds()
 			sum += busy
 			count++

@@ -94,7 +94,7 @@ func (t *Tracer) push(ev traceEvent) {
 
 // Instant records a zero-duration event (ph "i").
 func (t *Tracer) Instant(cat, name string, tsNs int64, tid int) {
-	if !t.inWindow(tsNs) {
+	if t == nil || !t.inWindow(tsNs) {
 		return
 	}
 	t.push(traceEvent{Name: name, Cat: cat, Ph: "i", Ts: float64(tsNs) / 1e3, Tid: tid,
@@ -103,7 +103,7 @@ func (t *Tracer) Instant(cat, name string, tsNs int64, tid int) {
 
 // Complete records a duration slice (ph "X") of durNs.
 func (t *Tracer) Complete(cat, name string, tsNs, durNs int64, tid int) {
-	if !t.inWindow(tsNs) {
+	if t == nil || !t.inWindow(tsNs) {
 		return
 	}
 	d := float64(durNs) / 1e3
@@ -113,7 +113,7 @@ func (t *Tracer) Complete(cat, name string, tsNs, durNs int64, tid int) {
 // CounterEvent records a counter sample (ph "C") rendered as a track in
 // the trace viewer.
 func (t *Tracer) CounterEvent(name string, tsNs int64, value int64) {
-	if !t.inWindow(tsNs) {
+	if t == nil || !t.inWindow(tsNs) {
 		return
 	}
 	t.push(traceEvent{Name: name, Cat: "counter", Ph: "C", Ts: float64(tsNs) / 1e3,
@@ -123,7 +123,7 @@ func (t *Tracer) CounterEvent(name string, tsNs int64, value int64) {
 // SpanBegin opens an async span (ph "b") with the given id — used for
 // flow lifetimes, which overlap arbitrarily.
 func (t *Tracer) SpanBegin(cat, name, id string, tsNs int64) {
-	if !t.inWindow(tsNs) {
+	if t == nil || !t.inWindow(tsNs) {
 		return
 	}
 	t.push(traceEvent{Name: name, Cat: cat, Ph: "b", Ts: float64(tsNs) / 1e3, ID: id})
@@ -131,7 +131,7 @@ func (t *Tracer) SpanBegin(cat, name, id string, tsNs int64) {
 
 // SpanEnd closes an async span (ph "e").
 func (t *Tracer) SpanEnd(cat, name, id string, tsNs int64) {
-	if !t.inWindow(tsNs) {
+	if t == nil || !t.inWindow(tsNs) {
 		return
 	}
 	t.push(traceEvent{Name: name, Cat: cat, Ph: "e", Ts: float64(tsNs) / 1e3, ID: id})

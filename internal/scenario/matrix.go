@@ -2,8 +2,20 @@ package scenario
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 )
+
+// sortedKeys returns a map's keys in sorted order, for deterministic
+// iteration over constraint axes.
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
 
 // Axes lists the swept values per axis. An empty axis keeps the Base
 // spec's value; a non-empty axis overrides it per cell. Axis values must
@@ -85,12 +97,14 @@ func AxisValue(s Spec, axis string) (string, error) {
 func (m *Matrix) skipped(s Spec) (bool, error) {
 	for _, c := range m.Skip {
 		match := true
-		for axis, want := range c.When {
+		// Sorted axis order keeps the error (when several axes are bad)
+		// deterministic; the conjunction itself is order-independent.
+		for _, axis := range sortedKeys(c.When) {
 			got, err := AxisValue(s, axis)
 			if err != nil {
 				return false, err
 			}
-			if got != want {
+			if got != c.When[axis] {
 				match = false
 				break
 			}
@@ -151,7 +165,7 @@ func (m *Matrix) validate() error {
 		if len(c.When) == 0 {
 			return fmt.Errorf("scenario: matrix %q: empty skip constraint", m.Name)
 		}
-		for axis := range c.When {
+		for _, axis := range sortedKeys(c.When) {
 			if _, err := AxisValue(m.Base, axis); err != nil {
 				return fmt.Errorf("scenario: matrix %q: %w", m.Name, err)
 			}

@@ -251,10 +251,12 @@ func runCell(s Spec, cc *caches, o RunOptions, traced bool) (CellResult, error) 
 	for rep := 0; rep < s.replicas(); rep++ {
 		sim := fab.NewSimulation(cfg)
 		if nFail > 0 {
+			//det:allow seedfold -- rep is the replicate number, a stable coordinate of the resource key (folded over failSeed), not an enumeration index
 			sim.Net.FailRandomLinks(nFail, graph.NewRand(exec.FoldSeed(failSeed, uint64(rep))))
 		}
 		// Flow starts and sizes replay core.RunWorkload's drawing order so a
 		// scenario cell and a hand-rolled workload at the same seed agree.
+		//det:allow seedfold -- rep is the replicate number, a stable coordinate of the resource key (folded over workloadSeed), not an enumeration index
 		rng := graph.NewRand(exec.FoldSeed(workloadSeed, uint64(rep)))
 		for _, fl := range pat.Flows {
 			var start netsim.Time
@@ -308,6 +310,7 @@ func RunSpecs(cells []Spec, o RunOptions) ([]CellResult, error) {
 	cc := newCaches()
 	var mu sync.Mutex
 	done := 0
+	//det:allow globalrand -- wall-clock telemetry (run/cell timings) is observational and never feeds table output
 	start := time.Now()
 	var busy time.Duration
 	o.Telemetry.Emit(obs.RunStart{
@@ -317,8 +320,10 @@ func RunSpecs(cells []Spec, o RunOptions) ([]CellResult, error) {
 	results, err := exec.ParallelMapLabeled(o.workers(), len(cells),
 		func(i int) string { return cells[i].Key() },
 		func(i int) (CellResult, error) {
+			//det:allow globalrand -- wall-clock telemetry (per-cell timings) is observational and never feeds table output
 			cellStart := time.Now()
 			r, err := runCell(cells[i], cc, o, i == 0)
+			//det:allow globalrand -- wall-clock telemetry (per-cell timings) is observational and never feeds table output
 			wall := time.Since(cellStart)
 			if o.Telemetry != nil {
 				rec := obs.CellRecord{
@@ -343,6 +348,7 @@ func RunSpecs(cells []Spec, o RunOptions) ([]CellResult, error) {
 			mu.Unlock()
 			return r, nil
 		})
+	//det:allow globalrand -- wall-clock telemetry (worker utilization) is observational and never feeds table output
 	elapsed := time.Since(start)
 	util := 0.0
 	if elapsed > 0 {

@@ -188,9 +188,11 @@ func (h *IntHistogram) Mean() float64 {
 	if h.Total == 0 {
 		return 0
 	}
+	// Sum in key order: float accumulation in map-iteration order would
+	// leave the mean's low bits nondeterministic across runs.
 	var sum float64
-	for v, n := range h.Counts {
-		sum += float64(v) * float64(n)
+	for _, v := range h.Keys() {
+		sum += float64(v) * float64(h.Counts[v])
 	}
 	return sum / float64(h.Total)
 }
