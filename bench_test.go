@@ -17,6 +17,7 @@ import (
 	"repro/internal/layers"
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/scenario"
 	"repro/internal/topo"
 	"repro/internal/traffic"
 )
@@ -303,6 +304,56 @@ func BenchmarkNetsimReplicate(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkScenarioCache measures the durable sweep runtime end to end on
+// one small matrix: cold runs simulate every cell and populate a fresh
+// content-addressed cache; warm runs satisfy every cell from it. The
+// cold/warm ratio is the cache's re-run speedup (the acceptance floor is
+// 10×; in practice it is orders of magnitude). CI archives the pair in
+// BENCH_scenario.json.
+func BenchmarkScenarioCache(b *testing.B) {
+	m := &scenario.Matrix{
+		Name: "bench-cache",
+		Base: scenario.Spec{
+			Topology:  scenario.Topology{Kind: "SF", Param: 3},
+			Pattern:   scenario.Pattern{Kind: "uniform"},
+			FlowSize:  scenario.FlowSize{Bytes: 32 << 10},
+			HorizonMs: 1000,
+		},
+		Axes: scenario.Axes{
+			Routings:  []string{"fatpaths", "minimal"},
+			FailFracs: []float64{0, 0.1},
+		},
+	}
+	cells, _, err := m.Expand()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dir := b.TempDir() // a fresh, empty cache every iteration
+			b.StartTimer()
+			if _, err := scenario.RunSpecs(cells, scenario.RunOptions{Seed: 42, CacheDir: dir}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		dir := b.TempDir()
+		if _, err := scenario.RunSpecs(cells, scenario.RunOptions{Seed: 42, CacheDir: dir}); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := scenario.RunSpecs(cells, scenario.RunOptions{Seed: 42, CacheDir: dir}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func BenchmarkSlimFlyConstruction(b *testing.B) {

@@ -55,6 +55,7 @@ func main() {
 		traceMs    = flag.Float64("trace-ms", 50, "trace window length in simulated milliseconds")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		cacheDir   = flag.String("cache-dir", "", "content-addressed result cache for scenario-backed experiments (see README \"Durable sweeps\")")
 	)
 	flag.Parse()
 
@@ -109,7 +110,7 @@ func main() {
 		opts := experiments.Options{
 			Quick: !*full, Seed: *seed, Parallelism: *parallel,
 			Shards: *shards, Progress: prog.Hook(), RunName: e.ID,
-			Obs: reg, Telemetry: tel, Tracer: tracer,
+			Obs: reg, Telemetry: tel, Tracer: tracer, CacheDir: *cacheDir,
 		}
 		start := time.Now()
 		tab, err := e.Run(opts)

@@ -13,9 +13,19 @@
 //	go run ./cmd/scenarios -metrics -telemetry run.jsonl -spec sweep.json
 //	go run ./cmd/scenarios -trace trace.json -spec sweep.json      # Perfetto
 //
+// The durable sweep runtime (README "Durable sweeps") adds a
+// content-addressed result cache and crash-resume via a run journal:
+//
+//	go run ./cmd/scenarios -cache-dir ~/.fatpaths-cache -spec sweep.json
+//	go run ./cmd/scenarios -cache-dir ~/.fatpaths-cache -cells -spec sweep.json  # hit/miss per cell
+//	go run ./cmd/scenarios -journal run.journal -spec sweep.json   # crash-safe
+//	go run ./cmd/scenarios -resume run.journal -spec sweep.json    # after a crash
+//
 // Output is byte-identical for every -parallel value at a fixed -seed —
 // including with -metrics/-telemetry/-trace on, which only observe (tables
-// go to stdout, diagnostics to stderr or files).
+// go to stdout, diagnostics to stderr or files), and including cells
+// satisfied from the cache or a resumed journal (replay equals rerun, by
+// the determinism contract).
 package main
 
 import (
@@ -23,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"time"
 
 	"repro/internal/obs"
@@ -54,6 +65,10 @@ func main() {
 		traceMs    = flag.Float64("trace-ms", 50, "trace window length in simulated milliseconds")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		cacheDir   = flag.String("cache-dir", "", "content-addressed result cache directory (reused across runs; see README \"Durable sweeps\")")
+		noCache    = flag.Bool("no-cache", false, "ignore -cache-dir: simulate every cell and write nothing to the cache")
+		journalPth = flag.String("journal", "", "record completed cells to this run-journal file (crash-safe JSONL)")
+		resumePth  = flag.String("resume", "", "resume an interrupted run from this journal: skip recorded cells, append new ones")
 	)
 	flag.Parse()
 
@@ -64,6 +79,23 @@ func main() {
 	if len(files) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: scenarios -spec <matrix.json> [more.json ...] (see examples/scenarios/)")
 		os.Exit(2)
+	}
+	if *noCache {
+		*cacheDir = ""
+	}
+	if *resumePth != "" && *journalPth != "" {
+		fail(fmt.Errorf("scenarios: pass -resume or -journal, not both (-resume keeps appending to the resumed journal)"))
+	}
+	if (*resumePth != "" || *journalPth != "") && len(files) != 1 {
+		fail(fmt.Errorf("scenarios: -journal/-resume record exactly one run; got %d spec files", len(files)))
+	}
+	failAfter := 0
+	if v := os.Getenv("FATPATHS_FAIL_AFTER"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			fail(fmt.Errorf("scenarios: FATPATHS_FAIL_AFTER must be a positive integer, got %q", v))
+		}
+		failAfter = n
 	}
 
 	stopProfiles, err := obs.StartProfiles(*cpuprofile, *memprofile)
@@ -102,23 +134,67 @@ func main() {
 		fr := fileResult{File: file, Name: m.Name, Cells: len(cs), Skipped: skipped}
 		if *cells {
 			if !*jsonOut {
+				status, err := cellStatuses(cs, *seed, *cacheDir, *resumePth)
+				if err != nil {
+					fail(err)
+				}
 				fmt.Printf("# %s — %s: %d cells (%d skipped by constraints)\n", file, m.Name, len(cs), skipped)
 				for i, c := range cs {
-					fmt.Printf("  [%3d] %s\n", i, c.Key())
+					if status == nil {
+						fmt.Printf("  [%3d] %s\n", i, c.Key())
+					} else {
+						fmt.Printf("  [%3d] %-4s %s\n", i, status[i], c.Key())
+					}
 				}
 			}
 			out = append(out, fr)
 			continue
 		}
 		prog.SetLabel(m.Name)
+		var (
+			journal *scenario.Journal
+			resume  map[string]scenario.CellResult
+		)
+		if *resumePth != "" {
+			var warnings []string
+			var torn bool
+			resume, warnings, torn, err = resumeState(*resumePth, cs, *seed)
+			if err != nil {
+				fail(err)
+			}
+			for _, w := range warnings {
+				fmt.Fprintln(os.Stderr, "scenarios: "+w)
+			}
+			if torn {
+				fmt.Fprintln(os.Stderr, "scenarios: journal has a torn final line (crash mid-append); ignoring and repairing it")
+			}
+			if journal, err = scenario.AppendJournal(*resumePth); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "scenarios: resuming %s — %d/%d cells already recorded\n", *resumePth, len(resume), len(cs))
+		} else if *journalPth != "" {
+			if journal, err = scenario.CreateJournal(*journalPth, scenario.JournalHeader{
+				Name: m.Name, Seed: *seed, SpecHash: scenario.SpecHash(cs, *seed), Cells: len(cs),
+			}); err != nil {
+				fail(err)
+			}
+		}
+		hook := prog.Hook()
+		if failAfter > 0 {
+			hook = injectCrash(hook, journal, failAfter)
+		}
 		opts := scenario.RunOptions{
 			Seed: *seed, Parallelism: *parallel, Shards: *shards,
-			Progress: prog.Hook(),
+			Progress: hook,
 			Name:     m.Name, Obs: reg, Telemetry: tel, Tracer: tracer,
+			CacheDir: *cacheDir, Journal: journal, Resume: resume,
 		}
 		start := time.Now()
 		results, err := scenario.RunSpecs(cs, opts)
 		prog.Clear()
+		if cerr := journal.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
 		if err != nil {
 			fail(fmt.Errorf("%s: %w", file, err))
 		}
@@ -174,6 +250,82 @@ func loadMatrix(file string) (*scenario.Matrix, error) {
 		return nil, fmt.Errorf("%s: %w", file, err)
 	}
 	return &m, nil
+}
+
+// resumeState reads a resume journal and validates it against the freshly
+// expanded cells: a journal recorded at a different seed, from a different
+// spec, or under a different engine fingerprint is an error (those journals
+// describe a different run). It returns the recorded results to skip, the
+// sorted warnings for records no expanded cell matches, and whether the
+// final line was torn by a crash mid-append. Read-only — repairing the torn
+// line is AppendJournal's job.
+func resumeState(path string, cs []scenario.Spec, seed int64) (map[string]scenario.CellResult, []string, bool, error) {
+	st, err := scenario.ReadJournal(path)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	resume, warnings, err := st.Match(cs, seed)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return resume, warnings, st.Torn, nil
+}
+
+// cellStatuses builds the -cells dry-run status column: "done" when the
+// resume journal records the cell, else "hit"/"miss" against the result
+// cache. Nil (no column) when neither -cache-dir nor -resume is set.
+func cellStatuses(cs []scenario.Spec, seed int64, cacheDir, resumePath string) ([]string, error) {
+	if cacheDir == "" && resumePath == "" {
+		return nil, nil
+	}
+	var resume map[string]scenario.CellResult
+	if resumePath != "" {
+		var err error
+		if resume, _, _, err = resumeState(resumePath, cs, seed); err != nil {
+			return nil, err
+		}
+	}
+	var cache *scenario.Cache
+	if cacheDir != "" {
+		var err error
+		if cache, err = scenario.OpenCache(cacheDir); err != nil {
+			return nil, err
+		}
+	}
+	status := make([]string, len(cs))
+	for i, c := range cs {
+		switch {
+		case resume != nil && hasIdentity(resume, c, seed):
+			status[i] = "done"
+		case cache.Has(c, seed):
+			status[i] = "hit"
+		default:
+			status[i] = "miss"
+		}
+	}
+	return status, nil
+}
+
+func hasIdentity(resume map[string]scenario.CellResult, c scenario.Spec, seed int64) bool {
+	_, ok := resume[c.CacheIdentity(seed)]
+	return ok
+}
+
+// injectCrash wraps the progress hook with the CI fault injector: once n
+// cells have completed (and work remains) the process syncs the journal and
+// exits with status 3, simulating a crash or Ctrl-C mid-sweep. The CI
+// resume-smoke step uses this to pin kill-then-resume == uninterrupted.
+func injectCrash(inner func(done, total int), j *scenario.Journal, n int) func(done, total int) {
+	return func(done, total int) {
+		if inner != nil {
+			inner(done, total)
+		}
+		if done >= n && done < total {
+			j.Sync()
+			fmt.Fprintf(os.Stderr, "\nscenarios: FATPATHS_FAIL_AFTER=%d: injected crash after %d/%d cells\n", n, done, total)
+			os.Exit(3)
+		}
+	}
 }
 
 func fail(err error) {

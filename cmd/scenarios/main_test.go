@@ -1,0 +1,127 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// testCells expands a tiny matrix for CLI-level resume tests.
+func testCells(t *testing.T) []scenario.Spec {
+	t.Helper()
+	m := &scenario.Matrix{
+		Name: "cli-test",
+		Base: scenario.Spec{
+			Topology:  scenario.Topology{Kind: "SF", Param: 3},
+			Pattern:   scenario.Pattern{Kind: "uniform"},
+			FlowSize:  scenario.FlowSize{Bytes: 32 << 10},
+			HorizonMs: 1000,
+		},
+		Axes: scenario.Axes{Routings: []string{"fatpaths", "minimal"}},
+	}
+	cells, _, err := m.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cells
+}
+
+// writeJournal creates a journal for cells at seed, recording the first
+// done cells, and returns its path.
+func writeJournal(t *testing.T, cells []scenario.Spec, seed int64, done int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j, err := scenario.CreateJournal(path, scenario.JournalHeader{
+		Name: "cli-test", Seed: seed, SpecHash: scenario.SpecHash(cells, seed), Cells: len(cells),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < done; i++ {
+		if err := j.Record(cells[i], seed, scenario.CellResult{Spec: cells[i], Flows: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestResumeStateSeedMismatch: -resume with a journal recorded at a
+// different seed is a clear error, not a silently mixed run. fail()
+// turns any resumeState error into a non-zero exit.
+func TestResumeStateSeedMismatch(t *testing.T) {
+	cells := testCells(t)
+	path := writeJournal(t, cells, 7, 1)
+	_, _, _, err := resumeState(path, cells, 8)
+	if err == nil {
+		t.Fatal("seed mismatch accepted")
+	}
+	if !strings.Contains(err.Error(), "seed 7") || !strings.Contains(err.Error(), "seed 8") {
+		t.Fatalf("error must name both seeds: %v", err)
+	}
+}
+
+// TestResumeStateSpecMismatch: -resume against an edited spec names the
+// hashes and points at the cache instead.
+func TestResumeStateSpecMismatch(t *testing.T) {
+	cells := testCells(t)
+	path := writeJournal(t, cells, 7, 1)
+	_, _, _, err := resumeState(path, cells[:1], 7)
+	if err == nil {
+		t.Fatal("spec mismatch accepted")
+	}
+	if !strings.Contains(err.Error(), "spec hash") || !strings.Contains(err.Error(), "-cache-dir") {
+		t.Fatalf("error must explain the spec mismatch and the cache alternative: %v", err)
+	}
+}
+
+// TestResumeStateHappyPath: a matching journal yields its recorded
+// cells with no warnings.
+func TestResumeStateHappyPath(t *testing.T) {
+	cells := testCells(t)
+	path := writeJournal(t, cells, 7, 1)
+	resume, warnings, torn, err := resumeState(path, cells, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resume) != 1 || len(warnings) != 0 || torn {
+		t.Fatalf("resume=%d warnings=%v torn=%v, want 1/none/false", len(resume), warnings, torn)
+	}
+}
+
+// TestCellStatuses: the -cells dry-run column reports done (journal),
+// hit (cache), and miss, and stays absent with neither flag.
+func TestCellStatuses(t *testing.T) {
+	cells := testCells(t)
+	if status, err := cellStatuses(cells, 7, "", ""); err != nil || status != nil {
+		t.Fatalf("no cache/resume: status=%v err=%v, want nil column", status, err)
+	}
+
+	dir := t.TempDir()
+	cache, err := scenario.OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cache.Put(cells[1], 7, scenario.CellResult{Spec: cells[1]}); err != nil {
+		t.Fatal(err)
+	}
+	journal := writeJournal(t, cells, 7, 1)
+	status, err := cellStatuses(cells, 7, dir, journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(status) != 2 || status[0] != "done" || status[1] != "hit" {
+		t.Fatalf("status = %v, want [done hit]", status)
+	}
+	status, err = cellStatuses(cells, 7, dir, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status[0] != "miss" || status[1] != "hit" {
+		t.Fatalf("status = %v, want [miss hit]", status)
+	}
+}

@@ -11,6 +11,9 @@
 //     sim/output paths; randomness derives from exec.FoldSeed streams.
 //   - seedfold: exec.FoldSeed keys come from canonical resource keys,
 //     never from loop/cell indices.
+//   - cachekey: the durable sweep runtime's cache/journal keys derive
+//     from canonical cell identity, never loop indices or wall-clock
+//     time.
 //   - syncpool: no sync.Pool in internal/netsim (per-shard arenas
 //     replaced it; a pool would reintroduce cross-shard sharing).
 //   - obsguard: obs hooks on simulator/routing hot paths stay nil-safe
@@ -101,6 +104,7 @@ func Analyzers() []*Analyzer {
 		MapRangeAnalyzer,
 		GlobalRandAnalyzer,
 		SeedFoldAnalyzer,
+		CacheKeyAnalyzer,
 		SyncPoolAnalyzer,
 		ObsGuardAnalyzer,
 	}

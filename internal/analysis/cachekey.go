@@ -1,0 +1,144 @@
+package analysis
+
+// cachekey: the durable sweep runtime's content addresses must be built
+// from canonical resource coordinates only. internal/scenario's cache
+// and journal key every persisted result on Spec.CacheIdentity — the
+// rendering of every result-affecting field plus the effective seed —
+// precisely so that a cell addresses the same entry from any matrix,
+// any enumeration order, and any day. Passing a loop/cell index into a
+// key-forming call re-introduces enumeration-order coupling (an edited
+// matrix would hit the wrong entries), and passing wall-clock time makes
+// every run a universal miss while looking like a working cache.
+//
+// The analyzer flags arguments of the scenario package's key-forming
+// entry points — CacheKey, SpecHash, Spec.CacheIdentity, Cache.Get/
+// Put/Has, Journal.Record — that read an enclosing loop induction
+// variable (same walker as seedfold) or call time.Now/Since/Until.
+// Like seedfold, the check is syntactic per function: deriving an index
+// into a local first is not caught, and a deliberate exception would
+// carry a //det:allow cachekey annotation.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+var CacheKeyAnalyzer = &Analyzer{
+	Name: "cachekey",
+	Doc:  "scenario cache/journal keys derive from canonical cell identity, never loop indices or wall-clock time",
+	Run:  runCacheKey,
+}
+
+// cacheKeyFuncs are internal/scenario's package-level key-forming
+// functions; cacheKeyMethods the key-forming methods by (receiver type,
+// method name). Every argument of these calls feeds a content address.
+var (
+	cacheKeyFuncs   = map[string]bool{"CacheKey": true, "SpecHash": true}
+	cacheKeyMethods = map[[2]string]bool{
+		{"Spec", "CacheIdentity"}: true,
+		{"Cache", "Get"}:          true,
+		{"Cache", "Put"}:          true,
+		{"Cache", "Has"}:          true,
+		{"Journal", "Record"}:     true,
+	}
+)
+
+func runCacheKey(pass *Pass) {
+	info := pass.TypesInfo
+	funcBodies(pass.Files, func(_ ast.Node, body *ast.BlockStmt) {
+		walkIndexVars(info, body, map[types.Object]bool{}, func(call *ast.CallExpr, indexVars map[types.Object]bool) {
+			callee, ok := cacheKeyCallee(info, call)
+			if !ok {
+				return
+			}
+			reported := map[types.Object]bool{}
+			for _, arg := range call.Args {
+				eachKeyUse(info, arg, func(id *ast.Ident, obj types.Object) {
+					switch {
+					case indexVars[obj] && !reported[obj]:
+						reported[obj] = true
+						pass.Reportf(id.Pos(), "scenario.%s keys on loop index %q; cache keys derive from canonical resource coordinates, never enumeration order (see internal/scenario/cache.go)", callee, id.Name)
+					case isWallClockFunc(obj) && !reported[obj]:
+						reported[obj] = true
+						pass.Reportf(id.Pos(), "scenario.%s keys on wall-clock time (time.%s); cache keys must address the same entry from any run", callee, obj.Name())
+					}
+				})
+			}
+		})
+	})
+}
+
+// cacheKeyCallee resolves a call to one of the scenario package's
+// key-forming entry points, returning its display name. Matching is by
+// type information (not source text), so import aliasing or a renamed
+// receiver cannot hide a callee; the import-path suffix match lets the
+// analysistest corpus pose as internal/scenario.
+func cacheKeyCallee(info *types.Info, call *ast.CallExpr) (string, bool) {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return "", false
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil || !pathMatches(fn.Pkg().Path(), "internal/scenario") {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	if sig.Recv() == nil {
+		return fn.Name(), cacheKeyFuncs[fn.Name()]
+	}
+	recv := recvTypeName(sig.Recv().Type())
+	return recv + "." + fn.Name(), cacheKeyMethods[[2]string{recv, fn.Name()}]
+}
+
+// eachKeyUse visits identifier uses below n, skipping index positions:
+// cells[i] passes the element — a canonical cell — into the key, so only
+// the index itself flowing into the key material is the bug. (seedfold
+// keeps the stricter eachUse: FoldSeed takes scalar keys, not cells.)
+func eachKeyUse(info *types.Info, n ast.Node, fn func(id *ast.Ident, obj types.Object)) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		if ix, ok := c.(*ast.IndexExpr); ok {
+			eachKeyUse(info, ix.X, fn)
+			return false
+		}
+		if id, ok := c.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				fn(id, obj)
+			}
+		}
+		return true
+	})
+}
+
+// recvTypeName names a method receiver's base type ("" for non-named
+// receivers).
+func recvTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// isWallClockFunc reports whether obj is time.Now, time.Since, or
+// time.Until — the wall-clock sources a reproducible key can never read.
+func isWallClockFunc(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+		return false
+	}
+	switch fn.Name() {
+	case "Now", "Since", "Until":
+		return true
+	}
+	return false
+}

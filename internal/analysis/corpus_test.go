@@ -115,6 +115,10 @@ func TestSeedFoldCorpus(t *testing.T) {
 	runCorpus(t, "seedfold/internal/scenario", SeedFoldAnalyzer)
 }
 
+func TestCacheKeyCorpus(t *testing.T) {
+	runCorpus(t, "cachekey/internal/scenario", CacheKeyAnalyzer)
+}
+
 func TestSyncPoolCorpus(t *testing.T) {
 	runCorpus(t, "syncpool/internal/netsim", SyncPoolAnalyzer)
 	// Outside internal/netsim the same code is unrestricted.

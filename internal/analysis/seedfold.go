@@ -29,15 +29,29 @@ var SeedFoldAnalyzer = &Analyzer{
 }
 
 func runSeedFold(pass *Pass) {
+	info := pass.TypesInfo
 	funcBodies(pass.Files, func(_ ast.Node, body *ast.BlockStmt) {
-		checkSeedFold(pass, body, map[types.Object]bool{})
+		walkIndexVars(info, body, map[types.Object]bool{}, func(call *ast.CallExpr, indexVars map[types.Object]bool) {
+			if !isFoldSeedCall(info, call) {
+				return
+			}
+			for _, arg := range call.Args {
+				eachUse(info, arg, func(id *ast.Ident, obj types.Object) {
+					if indexVars[obj] {
+						pass.Reportf(id.Pos(), "exec.FoldSeed folds on loop index %q; fold on a canonical resource key instead (see internal/exec)", id.Name)
+					}
+				})
+			}
+		})
 	})
 }
 
-// checkSeedFold walks stmts keeping the set of live induction-variable
-// objects, and reports FoldSeed calls that read any of them.
-func checkSeedFold(pass *Pass, n ast.Node, indexVars map[types.Object]bool) {
-	info := pass.TypesInfo
+// walkIndexVars walks n keeping the set of live induction-variable
+// objects (for-loop init variables and positional range keys), and hands
+// every call expression to onCall with the set in scope at that point.
+// Shared by seedfold and cachekey: both rules forbid deriving a
+// determinism-bearing key from whatever loop happens to surround the call.
+func walkIndexVars(info *types.Info, n ast.Node, indexVars map[types.Object]bool, onCall func(call *ast.CallExpr, indexVars map[types.Object]bool)) {
 	ast.Inspect(n, func(c ast.Node) bool {
 		switch st := c.(type) {
 		case *ast.ForStmt:
@@ -56,15 +70,15 @@ func checkSeedFold(pass *Pass, n ast.Node, indexVars map[types.Object]bool) {
 				}
 			}
 			if st.Init != nil {
-				checkSeedFold(pass, st.Init, indexVars)
+				walkIndexVars(info, st.Init, indexVars, onCall)
 			}
 			if st.Cond != nil {
-				checkSeedFold(pass, st.Cond, inner)
+				walkIndexVars(info, st.Cond, inner, onCall)
 			}
 			if st.Post != nil {
-				checkSeedFold(pass, st.Post, inner)
+				walkIndexVars(info, st.Post, inner, onCall)
 			}
-			checkSeedFold(pass, st.Body, inner)
+			walkIndexVars(info, st.Body, inner, onCall)
 			return false
 		case *ast.RangeStmt:
 			inner := cloneObjSet(indexVars)
@@ -79,19 +93,11 @@ func checkSeedFold(pass *Pass, n ast.Node, indexVars map[types.Object]bool) {
 					inner[obj] = true
 				}
 			}
-			checkSeedFold(pass, st.X, indexVars)
-			checkSeedFold(pass, st.Body, inner)
+			walkIndexVars(info, st.X, indexVars, onCall)
+			walkIndexVars(info, st.Body, inner, onCall)
 			return false
 		case *ast.CallExpr:
-			if isFoldSeedCall(info, st) {
-				for _, arg := range st.Args {
-					eachUse(info, arg, func(id *ast.Ident, obj types.Object) {
-						if indexVars[obj] {
-							pass.Reportf(id.Pos(), "exec.FoldSeed folds on loop index %q; fold on a canonical resource key instead (see internal/exec)", id.Name)
-						}
-					})
-				}
-			}
+			onCall(st, indexVars)
 		}
 		return true
 	})

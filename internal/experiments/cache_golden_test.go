@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// scenarioBacked lists the experiment IDs that run through the scenario
+// engine and therefore gain the durable runtime's content-addressed
+// cache via Options.CacheDir.
+var scenarioBacked = []string{
+	"fig2", "fig11", "fig13", "abl-transport", "abl-construction", "abl-randomization",
+}
+
+// shortCacheGolden is the subset exercised under -short.
+var shortCacheGolden = map[string]bool{"fig2": true, "abl-transport": true}
+
+// TestCacheGolden: scenario-backed experiments render byte-identical
+// golden tables with caching on — once cold (populating the cache) and
+// once warm (every cell a hit). This is the replay-equals-rerun pin at
+// the experiment level: a cached result that changed any byte of any
+// golden table fails here.
+func TestCacheGolden(t *testing.T) {
+	byID := map[string]Experiment{}
+	for _, e := range All() {
+		byID[e.ID] = e
+	}
+	for _, id := range scenarioBacked {
+		e, ok := byID[id]
+		if !ok {
+			t.Fatalf("experiment %q not registered", id)
+		}
+		t.Run(id, func(t *testing.T) {
+			if testing.Short() && !shortCacheGolden[id] {
+				t.Skip("subset only under -short")
+			}
+			t.Parallel()
+			want, err := os.ReadFile(filepath.Join("testdata", id+".golden"))
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with -update): %v", err)
+			}
+			dir := t.TempDir()
+			for _, phase := range []string{"cold", "warm"} {
+				tab, err := e.Run(Options{Quick: true, Seed: goldenSeed, Parallelism: 8, CacheDir: dir})
+				if err != nil {
+					t.Fatalf("%s: %v", phase, err)
+				}
+				if got := tab.String(); got != string(want) {
+					t.Errorf("%s cached table differs from golden:\n--- got ---\n%s\n--- want ---\n%s", phase, got, want)
+				}
+			}
+		})
+	}
+}

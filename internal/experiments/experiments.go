@@ -61,6 +61,12 @@ type Options struct {
 	// first to acquire it records its event loop (one bounded window per
 	// process).
 	Tracer *obs.Tracer
+	// CacheDir, when non-empty, backs scenario-driven experiments with the
+	// content-addressed result cache (see internal/scenario.Cache): cells
+	// already computed under the same canonical identity, seed, and engine
+	// fingerprint are read back instead of re-simulated. Output is
+	// byte-identical with or without it, by the determinism contract.
+	CacheDir string
 }
 
 // coreCfg assembles the layer configuration for a runner's fabric build,

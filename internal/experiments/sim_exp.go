@@ -138,6 +138,7 @@ func runMatrices(o Options, ms ...*scenario.Matrix) ([]scenario.CellResult, erro
 		Obs:         o.Obs,
 		Telemetry:   o.Telemetry,
 		Tracer:      o.Tracer,
+		CacheDir:    o.CacheDir,
 	})
 }
 

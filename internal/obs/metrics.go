@@ -27,6 +27,15 @@ const (
 	MetricSimWindowOccupancy = "netsim.window_occupancy"
 )
 
+// Durable-sweep-runtime metric names (internal/scenario cache + journal).
+const (
+	MetricScenarioCacheHits     = "scenario.cache_hits"
+	MetricScenarioCacheMisses   = "scenario.cache_misses"
+	MetricScenarioCellsResumed  = "scenario.cells_resumed"
+	MetricScenarioCacheBytesIn  = "scenario.cache_bytes_read"
+	MetricScenarioCacheBytesOut = "scenario.cache_bytes_written"
+)
+
 // Routing-core metric names.
 const (
 	MetricRoutingTablesBuilt   = "routing.tables_built"
@@ -118,6 +127,33 @@ func NewSimMetrics(r *Registry) *SimMetrics {
 		ShardEvents:       r.Histogram(MetricSimShardEvents, ShardEventBuckets),
 		BarrierStalls:     r.Counter(MetricSimBarrierStalls),
 		WindowOccupancy:   r.Histogram(MetricSimWindowOccupancy, WindowOccupancyBuckets),
+	}
+}
+
+// ScenarioMetrics is the durable sweep runtime's bundle: content-addressed
+// cache effectiveness (hits, misses, bytes moved) and journal-resume
+// volume. Hits and misses count only runs with a cache attached; resumed
+// cells count only runs continuing a journal.
+type ScenarioMetrics struct {
+	CacheHits         *Counter
+	CacheMisses       *Counter
+	CellsResumed      *Counter
+	CacheBytesRead    *Counter
+	CacheBytesWritten *Counter
+}
+
+// NewScenarioMetrics returns the scenario bundle backed by r, or nil (the
+// disabled bundle) when r is nil.
+func NewScenarioMetrics(r *Registry) *ScenarioMetrics {
+	if r == nil {
+		return nil
+	}
+	return &ScenarioMetrics{
+		CacheHits:         r.Counter(MetricScenarioCacheHits),
+		CacheMisses:       r.Counter(MetricScenarioCacheMisses),
+		CellsResumed:      r.Counter(MetricScenarioCellsResumed),
+		CacheBytesRead:    r.Counter(MetricScenarioCacheBytesIn),
+		CacheBytesWritten: r.Counter(MetricScenarioCacheBytesOut),
 	}
 }
 

@@ -87,7 +87,11 @@ type CellRecord struct {
 	// cells on the worker pool.
 	WallMs        float64 `json:"wallMs"`
 	StartOffsetMs float64 `json:"startOffsetMs"`
-	Err           string  `json:"err,omitempty"`
+	// Source records where the durable sweep runtime found the result:
+	// "cache" (content-addressed cache hit), "resume" (recorded in the
+	// resumed run journal), or empty for a freshly simulated cell.
+	Source string `json:"source,omitempty"`
+	Err    string `json:"err,omitempty"`
 }
 
 // RunEnd closes a run.

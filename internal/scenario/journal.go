@@ -1,0 +1,294 @@
+package scenario
+
+// The append-only run journal of the durable sweep runtime: one JSONL
+// file per run, a run_header line followed by one cell_done record per
+// completed cell, fsync'd in batches. After a crash or Ctrl-C,
+// `cmd/scenarios -resume <journal>` reads the journal back, verifies it
+// was recorded from the same spec, seed, and engine fingerprint, skips
+// every recorded cell, and merges the recorded rows into the final table
+// in canonical cell order — a kill-then-resume run is byte-identical to
+// an uninterrupted one (pinned by TestKillResumeEqualsUninterrupted and
+// the CI resume-smoke step).
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// JournalHeader is the first record of a run journal. It pins everything
+// a resume must agree on: the run seed, a digest of the expanded cell
+// identities, and the engine fingerprint the results were computed under.
+type JournalHeader struct {
+	Type string `json:"type"` // "run_header"
+	// Name labels the run (the matrix name).
+	Name string `json:"name,omitempty"`
+	// Seed is the run seed every recorded result was computed at.
+	Seed int64 `json:"seed"`
+	// SpecHash digests the expanded matrix (SpecHash over the cells).
+	SpecHash string `json:"specHash"`
+	// Fingerprint is the EngineFingerprint at recording time.
+	Fingerprint string `json:"fingerprint"`
+	// Cells is the expanded cell count of the matrix.
+	Cells int `json:"cells"`
+}
+
+// CellDone is one completed-cell record.
+type CellDone struct {
+	Type string `json:"type"` // "cell_done"
+	// Identity is the cell's canonical identity (Spec.CacheIdentity at
+	// the run seed) — the key resume matching is defined over.
+	Identity string `json:"identity"`
+	// Key is the human-readable canonical cell key (Spec.Key), carried
+	// for log readability and warnings; matching never uses it.
+	Key    string     `json:"key"`
+	Result CellResult `json:"result"`
+}
+
+// SpecHash digests the canonical identities of an expanded cell list at a
+// run seed — the journal's definition of "the same run". Cell order is
+// part of the digest: resume merges recorded rows positionally into the
+// canonical table order, so a reordered matrix is a different run.
+func SpecHash(cells []Spec, runSeed int64) string {
+	h := sha256.New()
+	for _, s := range cells {
+		io.WriteString(h, s.CacheIdentity(runSeed))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// journalFlushEvery is the fsync batch size: every N appended records the
+// journal syncs to disk. Small enough that a crash loses at most a few
+// cells of progress, large enough that fsync latency stays off the
+// per-cell path.
+const journalFlushEvery = 8
+
+// Journal appends cell_done records to an open journal file. Appends are
+// serialized under a mutex (workers record concurrently) and fsync'd in
+// batches of journalFlushEvery plus on Sync/Close. A nil *Journal
+// discards everything — the disabled path.
+type Journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	pending int
+}
+
+// CreateJournal creates (truncating) a journal at path and writes —
+// and immediately syncs — its header.
+func CreateJournal(path string, h JournalHeader) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: creating journal: %w", err)
+	}
+	h.Type = "run_header"
+	if h.Fingerprint == "" {
+		h.Fingerprint = EngineFingerprint
+	}
+	b, err := json.Marshal(h)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("scenario: encoding journal header: %w", err)
+	}
+	if _, err := f.Write(append(b, '\n')); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("scenario: writing journal header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("scenario: syncing journal: %w", err)
+	}
+	return &Journal{f: f}, nil
+}
+
+// AppendJournal opens an existing journal for appending (the resume
+// path). A torn final line from a crashed writer is truncated away first,
+// so the resumed run's records never concatenate onto a fragment.
+func AppendJournal(path string) (*Journal, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: opening journal: %w", err)
+	}
+	if n := len(b); n > 0 && b[n-1] != '\n' {
+		keep := 0
+		if i := strings.LastIndexByte(string(b), '\n'); i >= 0 {
+			keep = i + 1
+		}
+		if err := os.Truncate(path, int64(keep)); err != nil {
+			return nil, fmt.Errorf("scenario: truncating torn journal line: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: opening journal: %w", err)
+	}
+	return &Journal{f: f}, nil
+}
+
+// Record appends one cell_done record. Each record is one Write call, so
+// a crash tears at most the final line (which readers tolerate and
+// AppendJournal repairs).
+func (j *Journal) Record(s Spec, runSeed int64, r CellResult) error {
+	if j == nil {
+		return nil
+	}
+	b, err := json.Marshal(CellDone{
+		Type:     "cell_done",
+		Identity: s.CacheIdentity(runSeed),
+		Key:      s.Key(),
+		Result:   r,
+	})
+	if err != nil {
+		return fmt.Errorf("scenario: encoding journal record: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("scenario: journal append: %w", err)
+	}
+	j.pending++
+	if j.pending >= journalFlushEvery {
+		j.pending = 0
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("scenario: journal sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Sync flushes pending records to disk.
+func (j *Journal) Sync() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.pending = 0
+	return j.f.Sync()
+}
+
+// Close syncs and closes the journal file.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	if err := j.Sync(); err != nil {
+		return err
+	}
+	return j.f.Close()
+}
+
+// JournalState is a read-back journal: its header and the deduplicated
+// set of recorded cells.
+type JournalState struct {
+	Header JournalHeader
+	// Done maps cell identity to its recorded cell_done (first record
+	// wins — by the determinism contract duplicates carry identical
+	// results, and first-wins keeps the choice deterministic).
+	Done map[string]CellDone
+	// Duplicates counts cell_done records dropped as duplicates.
+	Duplicates int
+	// Torn reports whether the final line was unparseable — the signature
+	// of a crash mid-append. The torn line is ignored; everything before
+	// it is intact (each record is one line).
+	Torn bool
+}
+
+// ReadJournal parses a journal file. The first line must be a
+// run_header; a corrupt record anywhere but the final line is an error
+// (journals are append-only — interior corruption means the file is not
+// a journal), while an unparseable final line sets Torn.
+func ReadJournal(path string) (*JournalState, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: reading journal: %w", err)
+	}
+	lines := strings.Split(string(b), "\n")
+	// A trailing newline yields one empty final element; drop it.
+	if n := len(lines); n > 0 && lines[n-1] == "" {
+		lines = lines[:n-1]
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("scenario: journal %s is empty", path)
+	}
+	st := &JournalState{Done: map[string]CellDone{}}
+	if err := json.Unmarshal([]byte(lines[0]), &st.Header); err != nil || st.Header.Type != "run_header" {
+		return nil, fmt.Errorf("scenario: journal %s: first line is not a run_header record", path)
+	}
+	for i, line := range lines[1:] {
+		var cd CellDone
+		if err := json.Unmarshal([]byte(line), &cd); err != nil || cd.Type != "cell_done" || cd.Identity == "" {
+			if i == len(lines)-2 { // final line: tolerate the torn write
+				st.Torn = true
+				break
+			}
+			return nil, fmt.Errorf("scenario: journal %s: corrupt record on line %d", path, i+2)
+		}
+		if _, dup := st.Done[cd.Identity]; dup {
+			st.Duplicates++
+			continue
+		}
+		st.Done[cd.Identity] = cd
+	}
+	return st, nil
+}
+
+// Match validates the journal against a freshly expanded cell list and
+// run seed and splits its records into the resume set and warnings.
+// Mismatched seed, spec hash, or engine fingerprint is an error — those
+// journals describe a different run and resuming from them would merge
+// rows computed under different inputs. Records whose identity appears in
+// no expanded cell (a hand-edited or concatenated journal) are warned
+// about and ignored; warnings are sorted so their order is deterministic.
+func (st *JournalState) Match(cells []Spec, runSeed int64) (map[string]CellResult, []string, error) {
+	if st.Header.Fingerprint != EngineFingerprint {
+		return nil, nil, fmt.Errorf(
+			"scenario: journal was recorded under engine fingerprint %q but this binary is %q (goldens were re-baselined since); re-run without -resume",
+			st.Header.Fingerprint, EngineFingerprint)
+	}
+	if st.Header.Seed != runSeed {
+		return nil, nil, fmt.Errorf(
+			"scenario: journal was recorded at seed %d but this run requests seed %d; pass -seed %d or re-run without -resume",
+			st.Header.Seed, runSeed, st.Header.Seed)
+	}
+	if got := SpecHash(cells, runSeed); st.Header.SpecHash != got {
+		return nil, nil, fmt.Errorf(
+			"scenario: journal spec hash %s does not match the expanded matrix (%s): the spec changed since the journal was recorded; use the result cache (-cache-dir) for edited specs, -resume only continues identical runs",
+			abbrevHash(st.Header.SpecHash), abbrevHash(got))
+	}
+	want := make(map[string]bool, len(cells))
+	for _, s := range cells {
+		want[s.CacheIdentity(runSeed)] = true
+	}
+	resume := make(map[string]CellResult, len(st.Done))
+	var warnings []string
+	// Sorted identity order keeps the warning list (and nothing else —
+	// resume is a keyed lookup) deterministic.
+	ids := make([]string, 0, len(st.Done))
+	for id := range st.Done {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		cd := st.Done[id]
+		if !want[id] {
+			warnings = append(warnings, fmt.Sprintf("journal records a cell absent from the expanded matrix (ignored): %s", cd.Key))
+			continue
+		}
+		resume[id] = cd.Result
+	}
+	return resume, warnings, nil
+}
+
+func abbrevHash(h string) string {
+	if len(h) > 12 {
+		return h[:12]
+	}
+	return h
+}

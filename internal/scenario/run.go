@@ -3,6 +3,7 @@ package scenario
 import (
 	"fmt"
 	"hash/fnv"
+	"os"
 	"runtime"
 	"sync"
 	"time"
@@ -45,6 +46,22 @@ type RunOptions struct {
 	// that do not set Spec.Shards. Like Parallelism it is an execution knob:
 	// results are byte-identical for every value. 0 runs simulations serially.
 	Shards int
+	// CacheDir, when non-empty, holds the content-addressed result cache:
+	// cells whose CacheKey has an entry return it without simulating, and
+	// freshly simulated cells are persisted for future runs. The
+	// determinism contract makes hits exact, so tables are byte-identical
+	// with the cache hot, cold, or absent.
+	CacheDir string
+	// Journal, when non-nil, receives an append-only cell_done record for
+	// every completed cell (simulated or cache-hit), enabling crash-resume.
+	// The caller owns the header and lifecycle (CreateJournal /
+	// AppendJournal / Close).
+	Journal *Journal
+	// Resume maps cell identities (Spec.CacheIdentity at the run seed) to
+	// results recorded by a previous run's journal (JournalState.Match);
+	// matching cells merge into the output without re-execution and
+	// without re-journaling.
+	Resume map[string]CellResult
 }
 
 func (o RunOptions) workers() int {
@@ -191,10 +208,7 @@ func coreConfig(s Spec, t *topo.Topology, layerSeed int64) core.Config {
 // validate the pattern, then simulate Replicas times and aggregate. traced
 // marks the one cell that is offered the run's tracer.
 func runCell(s Spec, cc *caches, o RunOptions, traced bool) (CellResult, error) {
-	runSeed := o.Seed
-	if s.Seed != 0 {
-		runSeed = s.Seed
-	}
+	runSeed := s.effectiveSeed(o.Seed)
 	if err := s.Validate(); err != nil {
 		return CellResult{}, err
 	}
@@ -301,12 +315,69 @@ func AxisValueMust(s Spec, axis string) string {
 	return v
 }
 
+// acquireCell produces one cell's result from, in order of preference,
+// the resume set (recorded by a previous run's journal), the
+// content-addressed cache, or a fresh simulation. It returns the
+// telemetry source tag: "resume", "cache", or "" for a simulated cell.
+// Resumed cells are not re-journaled (their record is already in the
+// journal being appended to); cache hits and fresh results are, so a
+// later resume can skip them. A cache write failure downgrades the run to
+// uncached (with a stderr warning) rather than aborting it; a journal
+// write failure aborts — the caller asked for durability.
+func acquireCell(s Spec, i int, cc *caches, o RunOptions, cache *Cache, sm *obs.ScenarioMetrics) (CellResult, string, error) {
+	if r, ok := o.Resume[s.CacheIdentity(o.Seed)]; ok {
+		if sm != nil {
+			sm.CellsResumed.Inc()
+		}
+		r.Spec = s
+		return r, "resume", nil
+	}
+	if r, n, ok := cache.Get(s, o.Seed); ok {
+		if sm != nil {
+			sm.CacheHits.Inc()
+			sm.CacheBytesRead.Add(int64(n))
+		}
+		if err := o.Journal.Record(s, o.Seed, r); err != nil {
+			return CellResult{}, "", err
+		}
+		return r, "cache", nil
+	}
+	r, err := runCell(s, cc, o, i == 0)
+	if err != nil {
+		return CellResult{}, "", err
+	}
+	if cache != nil {
+		if sm != nil {
+			sm.CacheMisses.Inc()
+		}
+		if n, err := cache.Put(s, o.Seed, r); err != nil {
+			fmt.Fprintf(os.Stderr, "scenario: cache write failed (continuing uncached): %v\n", err)
+		} else if sm != nil {
+			sm.CacheBytesWritten.Add(int64(n))
+		}
+	}
+	if err := o.Journal.Record(s, o.Seed, r); err != nil {
+		return CellResult{}, "", err
+	}
+	return r, "", nil
+}
+
 // RunSpecs executes concrete cells over the parallel runtime and returns
 // their results in cell order. Output is byte-identical for every
 // Parallelism value: each cell's randomness derives from (seed, canonical
 // resource keys) alone, and shared fabrics are pure functions of their
-// keys.
+// keys. The same guarantee extends to the durable runtime — a cell
+// satisfied from the resume set or the result cache is byte-identical to
+// a freshly simulated one (replay equals rerun).
 func RunSpecs(cells []Spec, o RunOptions) ([]CellResult, error) {
+	var cache *Cache
+	if o.CacheDir != "" {
+		var err error
+		if cache, err = OpenCache(o.CacheDir); err != nil {
+			return nil, err
+		}
+	}
+	sm := obs.NewScenarioMetrics(o.Obs)
 	cc := newCaches()
 	var mu sync.Mutex
 	done := 0
@@ -322,7 +393,7 @@ func RunSpecs(cells []Spec, o RunOptions) ([]CellResult, error) {
 		func(i int) (CellResult, error) {
 			//det:allow globalrand -- wall-clock telemetry (per-cell timings) is observational and never feeds table output
 			cellStart := time.Now()
-			r, err := runCell(cells[i], cc, o, i == 0)
+			r, source, err := acquireCell(cells[i], i, cc, o, cache, sm)
 			//det:allow globalrand -- wall-clock telemetry (per-cell timings) is observational and never feeds table output
 			wall := time.Since(cellStart)
 			if o.Telemetry != nil {
@@ -330,6 +401,7 @@ func RunSpecs(cells []Spec, o RunOptions) ([]CellResult, error) {
 					Type: "cell", Name: o.Name, Index: i, Key: cells[i].Key(),
 					WallMs:        wall.Seconds() * 1e3,
 					StartOffsetMs: cellStart.Sub(start).Seconds() * 1e3,
+					Source:        source,
 				}
 				if err != nil {
 					rec.Err = err.Error()

@@ -431,6 +431,48 @@ func (s Spec) Key() string {
 	return strings.Join(parts, " ")
 }
 
+// effectiveSeed resolves the seed the cell actually runs at: its own
+// Spec.Seed when non-zero, else the run seed.
+func (s Spec) effectiveSeed(runSeed int64) int64 {
+	if s.Seed != 0 {
+		return s.Seed
+	}
+	return runSeed
+}
+
+// CacheIdentity renders the cell's full canonical identity for the durable
+// runtime (result cache and run journal): every result-affecting field in
+// canonical form plus the effective seed, and nothing else. Name (a label)
+// and Shards (an execution knob — results are byte-identical at every
+// value) are deliberately excluded, so renaming a cell or re-sharding its
+// event loop still hits the cache. The determinism contract makes equal
+// identities provably equal results: every random draw of a cell derives
+// from (effective seed, canonical resource keys) alone.
+//
+// The leading "v1" versions the identity schema itself; bump it if fields
+// are added or renderings change. The engine fingerprint is layered on top
+// by CacheKey, not here, so journals can detect fingerprint drift
+// separately from spec edits.
+func (s Spec) CacheIdentity(runSeed int64) string {
+	return strings.Join([]string{
+		"v1",
+		"topo=" + s.Topology.key(),
+		"pattern=" + s.Pattern.key(),
+		"routing=" + s.routing(),
+		"transport=" + s.transport(),
+		"layers=" + strconv.Itoa(s.Layers),
+		"rho=" + strconv.FormatFloat(s.Rho, 'g', -1, 64),
+		"construction=" + s.construction(),
+		"flowSize=" + s.FlowSize.key(),
+		"load=" + strconv.FormatFloat(s.Load, 'g', -1, 64),
+		"failFrac=" + strconv.FormatFloat(s.FailFrac, 'g', -1, 64),
+		"replicas=" + strconv.Itoa(s.replicas()),
+		"horizonMs=" + strconv.FormatFloat(s.horizonMs(), 'g', -1, 64),
+		"mat=" + strconv.FormatBool(s.MAT),
+		"seed=" + strconv.FormatInt(s.effectiveSeed(runSeed), 10),
+	}, "|")
+}
+
 // workloadKey identifies the workload-defining axes: cells with equal
 // workload keys face the identical flows, sizes, and arrival times.
 func (s Spec) workloadKey() string {

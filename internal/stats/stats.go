@@ -5,9 +5,11 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -110,6 +112,76 @@ func (s *Sample) Stddev() float64 {
 type Summary struct {
 	N                                   int
 	Mean, P01, P10, P50, P90, P99, P999 float64
+}
+
+// summaryJSON is Summary's JSON shape. The float fields use jsonFloat so
+// empty-sample digests (NaN percentiles, ±Inf extremes) survive the trip:
+// encoding/json rejects non-finite numbers outright, which would make any
+// zero-completion cell unserializable (CLI -json output, the scenario
+// result cache, run journals). The wire type keeps the exported struct
+// free of JSON-only field types.
+type summaryJSON struct {
+	N    int       `json:"N"`
+	Mean jsonFloat `json:"Mean"`
+	P01  jsonFloat `json:"P01"`
+	P10  jsonFloat `json:"P10"`
+	P50  jsonFloat `json:"P50"`
+	P90  jsonFloat `json:"P90"`
+	P99  jsonFloat `json:"P99"`
+	P999 jsonFloat `json:"P999"`
+}
+
+// jsonFloat marshals finite values as plain JSON numbers and non-finite
+// values ("NaN", "+Inf", "-Inf") as quoted strings, round-tripping
+// bit-exactly either way (shortest-round-trip formatting for finite
+// values is exact by construction).
+type jsonFloat float64
+
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte(`"` + strconv.FormatFloat(v, 'g', -1, 64) + `"`), nil
+	}
+	return []byte(strconv.FormatFloat(v, 'g', -1, 64)), nil
+}
+
+func (f *jsonFloat) UnmarshalJSON(b []byte) error {
+	s := string(b)
+	if len(s) >= 2 && s[0] == '"' {
+		var err error
+		if s, err = strconv.Unquote(s); err != nil {
+			return err
+		}
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return fmt.Errorf("stats: parsing summary float %q: %w", s, err)
+	}
+	*f = jsonFloat(v)
+	return nil
+}
+
+// MarshalJSON implements NaN/Inf-safe encoding (see jsonFloat).
+func (s Summary) MarshalJSON() ([]byte, error) {
+	return json.Marshal(summaryJSON{
+		N: s.N, Mean: jsonFloat(s.Mean), P01: jsonFloat(s.P01),
+		P10: jsonFloat(s.P10), P50: jsonFloat(s.P50), P90: jsonFloat(s.P90),
+		P99: jsonFloat(s.P99), P999: jsonFloat(s.P999),
+	})
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (s *Summary) UnmarshalJSON(b []byte) error {
+	var w summaryJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*s = Summary{
+		N: w.N, Mean: float64(w.Mean), P01: float64(w.P01),
+		P10: float64(w.P10), P50: float64(w.P50), P90: float64(w.P90),
+		P99: float64(w.P99), P999: float64(w.P999),
+	}
+	return nil
 }
 
 // Summarize produces the digest.

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -140,5 +141,56 @@ func TestTableRendering(t *testing.T) {
 	lines := strings.Split(strings.TrimSpace(out), "\n")
 	if len(lines) != 5 { // title, header, separator, two rows
 		t.Fatalf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+}
+
+// TestSummaryJSONRoundTrip: Summary survives JSON both for ordinary
+// finite digests and for empty-sample digests whose percentiles are NaN
+// (and any ±Inf) — encoding/json rejects non-finite numbers, so the
+// scenario result cache and run journal depend on this round trip.
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	cases := []Summary{
+		{N: 3, Mean: 1.5, P01: 0.1, P10: 0.25, P50: 1.75, P90: 2.5, P99: 2.75, P999: 2.875},
+		{N: 0, Mean: 0, P01: math.NaN(), P10: math.NaN(), P50: math.NaN(), P90: math.NaN(), P99: math.NaN(), P999: math.NaN()},
+		{N: 1, Mean: math.Inf(1), P01: math.Inf(-1), P50: 0.3},
+	}
+	same := func(a, b float64) bool {
+		return a == b || (math.IsNaN(a) && math.IsNaN(b))
+	}
+	for i, in := range cases {
+		b, err := json.Marshal(in)
+		if err != nil {
+			t.Fatalf("case %d: marshal: %v", i, err)
+		}
+		var out Summary
+		if err := json.Unmarshal(b, &out); err != nil {
+			t.Fatalf("case %d: unmarshal %s: %v", i, b, err)
+		}
+		if out.N != in.N || !same(out.Mean, in.Mean) || !same(out.P01, in.P01) ||
+			!same(out.P10, in.P10) || !same(out.P50, in.P50) || !same(out.P90, in.P90) ||
+			!same(out.P99, in.P99) || !same(out.P999, in.P999) {
+			t.Fatalf("case %d: round trip changed the digest:\nin:  %+v\nout: %+v\nwire: %s", i, in, out, b)
+		}
+	}
+}
+
+// TestSummaryJSONFiniteValuesExact: finite values marshal as plain JSON
+// numbers with shortest-round-trip formatting — bit-exact across the
+// trip, and readable by any JSON consumer.
+func TestSummaryJSONFiniteValuesExact(t *testing.T) {
+	in := Summary{N: 2, Mean: 0.1 + 0.2, P50: 1e-17}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), `"Mean":"`) {
+		t.Fatalf("finite value marshaled as a string: %s", b)
+	}
+	var out Summary
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Mean != in.Mean || out.P50 != in.P50 {
+		t.Fatalf("finite round trip inexact: %v -> %v", in, out)
 	}
 }
