@@ -1,0 +1,100 @@
+// Command fatpathsd serves FatPaths fabrics as a service: a long-running
+// HTTP/JSON daemon (internal/serve) keeping fabrics resident in an
+// LRU-bounded cache so interactive clients get lock-free next-hop and
+// path-diversity answers, copy-on-write what-if failure analysis, and
+// scenario-matrix execution with streamed progress — without paying the
+// fabric build per query.
+//
+// Usage:
+//
+//	go run ./cmd/fatpathsd                          # listen on :8095
+//	go run ./cmd/fatpathsd -addr :9000 -max-fabrics 16
+//	go run ./cmd/fatpathsd -cache-dir ~/.fatpaths-cache   # share the sweep cache
+//
+//	curl 'localhost:8095/nexthop?topo=SF&param=5&layers=4&rho=0.7&layer=1&src=3&dst=17'
+//	curl 'localhost:8095/paths?topo=SF&param=5&layers=4&rho=0.7&src=3&dst=17'
+//	curl -d '{"fabric":{"topology":{"kind":"SF","param":5},"layers":4,"rho":0.7},
+//	         "failedEdges":[0,7],"queries":[{"layer":1,"src":3,"dst":17}]}' \
+//	     localhost:8095/whatif
+//	curl -d @examples/scenarios/failure_ladder.json.wrapped localhost:8095/scenarios
+//	curl localhost:8095/healthz; curl localhost:8095/metrics
+//
+// Answers obey the determinism contract: at the same seed they are
+// byte-identical to the offline engine (cmd/fatpaths, cmd/scenarios) —
+// the daemon only changes where the fabric lives, never what it answers.
+// SIGINT/SIGTERM drain in-flight requests and exit 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8095", "listen address")
+		maxFabrics = flag.Int("max-fabrics", 8, "resident-fabric LRU capacity")
+		lazy       = flag.Bool("lazy", false, "build routing tables per destination on first query instead of eagerly at fabric admission")
+		buildW     = flag.Int("build-workers", 0, "admission table-build workers (0 = all cores)")
+		cacheDir   = flag.String("cache-dir", "", "content-addressed scenario result cache directory, shared with cmd/scenarios")
+		parallel   = flag.Int("parallel", 0, "scenario worker goroutines (0 = all cores)")
+		shards     = flag.Int("shards", 0, "event-loop shards per scenario simulation (0 = serial); results are byte-identical at every value")
+		maxRuns    = flag.Int("max-runs", 1, "concurrently executing /scenarios submissions (excess queue)")
+		drainSecs  = flag.Float64("drain-timeout", 30, "seconds to wait for in-flight requests on shutdown")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "fatpathsd: unexpected arguments %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	reg := obs.NewRegistry()
+	s := serve.New(serve.Config{
+		MaxFabrics:      *maxFabrics,
+		Lazy:            *lazy,
+		BuildWorkers:    *buildW,
+		CacheDir:        *cacheDir,
+		Parallelism:     *parallel,
+		Shards:          *shards,
+		MaxScenarioRuns: *maxRuns,
+	}, reg)
+
+	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "fatpathsd: listening on %s (max %d resident fabrics)\n", *addr, *maxFabrics)
+
+	select {
+	case err := <-errc:
+		// ListenAndServe only returns on failure before a signal arrives.
+		fmt.Fprintln(os.Stderr, "fatpathsd:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "fatpathsd: draining in-flight requests")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), time.Duration(*drainSecs*float64(time.Second)))
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "fatpathsd: shutdown:", err)
+		os.Exit(1)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "fatpathsd:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "fatpathsd: stopped")
+}

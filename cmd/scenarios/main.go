@@ -83,8 +83,8 @@ func main() {
 	if *noCache {
 		*cacheDir = ""
 	}
-	if *resumePth != "" && *journalPth != "" {
-		fail(fmt.Errorf("scenarios: pass -resume or -journal, not both (-resume keeps appending to the resumed journal)"))
+	if err := validateJournalFlags(*journalPth, *resumePth); err != nil {
+		fail(err)
 	}
 	if (*resumePth != "" || *journalPth != "") && len(files) != 1 {
 		fail(fmt.Errorf("scenarios: -journal/-resume record exactly one run; got %d spec files", len(files)))
@@ -173,6 +173,9 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "scenarios: resuming %s — %d/%d cells already recorded\n", *resumePth, len(resume), len(cs))
 		} else if *journalPth != "" {
+			if err := guardJournalOverwrite(*journalPth, cs, *seed); err != nil {
+				fail(err)
+			}
 			if journal, err = scenario.CreateJournal(*journalPth, scenario.JournalHeader{
 				Name: m.Name, Seed: *seed, SpecHash: scenario.SpecHash(cs, *seed), Cells: len(cs),
 			}); err != nil {
@@ -250,6 +253,38 @@ func loadMatrix(file string) (*scenario.Matrix, error) {
 		return nil, fmt.Errorf("%s: %w", file, err)
 	}
 	return &m, nil
+}
+
+// validateJournalFlags rejects -journal together with -resume, in either
+// flag order: -resume already keeps appending to the resumed journal, and
+// letting -journal name the same (or any) file alongside it invites the
+// truncation guardJournalOverwrite exists to prevent.
+func validateJournalFlags(journalPth, resumePth string) error {
+	if resumePth != "" && journalPth != "" {
+		return fmt.Errorf("scenarios: pass -resume or -journal, not both (-resume keeps appending to the resumed journal)")
+	}
+	return nil
+}
+
+// guardJournalOverwrite refuses to let -journal truncate an existing
+// resumable journal of this same run. CreateJournal opens with O_TRUNC,
+// so re-running a crashed `-journal run.journal` sweep with the same flag
+// — the natural retry — would silently destroy the very progress -resume
+// exists to keep. Only a journal whose header matches this run (seed,
+// spec hash, engine fingerprint) and which records at least one cell is
+// protected; absent files, foreign files, and other runs' journals stay
+// overwritable as before.
+func guardJournalOverwrite(path string, cs []scenario.Spec, seed int64) error {
+	st, err := scenario.ReadJournal(path)
+	if err != nil {
+		return nil // absent or not a journal: nothing to protect
+	}
+	resume, _, err := st.Match(cs, seed)
+	if err != nil || len(resume) == 0 {
+		return nil // a different run's journal, or no progress recorded yet
+	}
+	return fmt.Errorf("scenarios: %s already records %d/%d cells of this run; -journal would truncate that progress — use -resume %s to continue, or delete the file to restart",
+		path, len(resume), len(cs), path)
 }
 
 // resumeState reads a resume journal and validates it against the freshly

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"flag"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -48,6 +50,92 @@ func writeJournal(t *testing.T, cells []scenario.Spec, seed int64, done int) str
 		t.Fatal(err)
 	}
 	return path
+}
+
+// TestJournalResumeFlagConflict: -journal plus -resume is rejected in
+// both command-line orderings — the conflict must not depend on which
+// flag the shell saw first.
+func TestJournalResumeFlagConflict(t *testing.T) {
+	for _, argv := range [][]string{
+		{"-journal", "run.journal", "-resume", "run.journal"},
+		{"-resume", "run.journal", "-journal", "run.journal"},
+	} {
+		fs := flag.NewFlagSet("scenarios", flag.ContinueOnError)
+		journal := fs.String("journal", "", "")
+		resume := fs.String("resume", "", "")
+		if err := fs.Parse(argv); err != nil {
+			t.Fatal(err)
+		}
+		if err := validateJournalFlags(*journal, *resume); err == nil {
+			t.Fatalf("argv %v: both flags accepted", argv)
+		}
+	}
+	if err := validateJournalFlags("run.journal", ""); err != nil {
+		t.Fatalf("-journal alone rejected: %v", err)
+	}
+	if err := validateJournalFlags("", "run.journal"); err != nil {
+		t.Fatalf("-resume alone rejected: %v", err)
+	}
+}
+
+// TestGuardJournalOverwrite: re-running a crashed sweep with the same
+// -journal flag must not truncate the recorded progress (CreateJournal
+// opens O_TRUNC) — the guard turns it into an error pointing at -resume,
+// and leaves the journal bytes untouched. Journals of other runs and
+// non-journal files stay overwritable.
+func TestGuardJournalOverwrite(t *testing.T) {
+	cells := testCells(t)
+	path := writeJournal(t, cells, 7, 1)
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	guardErr := guardJournalOverwrite(path, cells, 7)
+	if guardErr == nil {
+		t.Fatal("same-run re-journal accepted; O_TRUNC would destroy 1 recorded cell")
+	}
+	if !strings.Contains(guardErr.Error(), "-resume") || !strings.Contains(guardErr.Error(), "1/2") {
+		t.Fatalf("guard error must point at -resume and count progress: %v", guardErr)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("guard modified the journal it protects")
+	}
+	// The blocked retry's escape hatch really works: -resume on the same
+	// file sees the recorded cell.
+	if resume, _, _, err := resumeState(path, cells, 7); err != nil || len(resume) != 1 {
+		t.Fatalf("resume after guard: %d cells, err %v", len(resume), err)
+	}
+
+	// A different run's journal (other seed) is not this run's progress.
+	if err := guardJournalOverwrite(path, cells, 8); err != nil {
+		t.Fatalf("foreign-seed journal blocked: %v", err)
+	}
+	// A fully completed journal is still protected progress.
+	full := writeJournal(t, cells, 7, len(cells))
+	if guardJournalOverwrite(full, cells, 7) == nil {
+		t.Fatal("completed journal accepted for truncation")
+	}
+	// Header-only journals (crash before any cell) and non-journal files
+	// carry nothing to protect.
+	empty := writeJournal(t, cells, 7, 0)
+	if err := guardJournalOverwrite(empty, cells, 7); err != nil {
+		t.Fatalf("empty journal blocked: %v", err)
+	}
+	junk := filepath.Join(t.TempDir(), "notes.txt")
+	if err := os.WriteFile(junk, []byte("not a journal\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := guardJournalOverwrite(junk, cells, 7); err != nil {
+		t.Fatalf("non-journal file blocked: %v", err)
+	}
+	if err := guardJournalOverwrite(filepath.Join(t.TempDir(), "absent"), cells, 7); err != nil {
+		t.Fatalf("absent file blocked: %v", err)
+	}
 }
 
 // TestResumeStateSeedMismatch: -resume with a journal recorded at a

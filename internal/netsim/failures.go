@@ -31,7 +31,13 @@ func (n *Network) FailRouterLink(u, v int) bool {
 }
 
 // FailRandomLinks fails count distinct router-router links chosen u.a.r.
-// and returns the affected edge IDs.
+// and returns the affected edge IDs. Edge IDs without a router-router
+// entry (no failable link) do not count against the quota: the walk keeps
+// drawing replacements from the rest of the permutation until count links
+// actually failed or the graph is exhausted, so callers asking for k
+// failures get exactly k whenever the topology has that many failable
+// links. (An earlier revision walked only the first count samples and
+// silently failed fewer links when some draws were unfailable.)
 func (n *Network) FailRandomLinks(count int, rng *rand.Rand) []int {
 	m := n.topo.G.M()
 	if count > m {
@@ -39,7 +45,10 @@ func (n *Network) FailRandomLinks(count int, rng *rand.Rand) []int {
 	}
 	perm := rng.Perm(m)
 	var failed []int
-	for _, id := range perm[:count] {
+	for _, id := range perm {
+		if len(failed) == count {
+			break
+		}
 		e := n.topo.G.Edge(id)
 		if n.FailRouterLink(int(e.U), int(e.V)) {
 			failed = append(failed, id)

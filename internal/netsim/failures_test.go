@@ -120,6 +120,53 @@ func TestLayerRecomputationAfterFailure(t *testing.T) {
 	}
 }
 
+// TestFailRandomLinksExactCount: FailRandomLinks must fail exactly count
+// links even when some edge IDs have no failable router-router entry —
+// the fixed undercount bug drew only the first count permutation samples
+// and silently dropped the unfailable ones instead of drawing
+// replacements from the rest of the permutation.
+func TestFailRandomLinksExactCount(t *testing.T) {
+	cfg := NDPDefaults()
+	s, sf := sfSim(t, 5, 2, 0.8, cfg, 11)
+	// Remove the router-router entries of a third of the edges: those edge
+	// IDs still exist in the graph but FailRouterLink reports false for
+	// them, exactly the shape of a topology whose edge list is wider than
+	// its failable link set.
+	unfailable := 0
+	for id := 0; id < sf.G.M(); id += 3 {
+		e := sf.G.Edge(id)
+		delete(s.Net.routerOut[e.U], e.V)
+		delete(s.Net.routerOut[e.V], e.U)
+		unfailable++
+	}
+	want := sf.G.M() / 4
+	if want <= unfailable/2 {
+		t.Fatalf("test wants a count (%d) large enough to overlap unfailable draws (%d)", want, unfailable)
+	}
+	failed := s.Net.FailRandomLinks(want, graph.NewRand(13))
+	if len(failed) != want {
+		t.Fatalf("failed %d links, want exactly %d (undercount regression)", len(failed), want)
+	}
+	seen := map[int]bool{}
+	for _, id := range failed {
+		if seen[id] {
+			t.Fatalf("edge %d failed twice", id)
+		}
+		seen[id] = true
+		e := sf.G.Edge(id)
+		if _, ok := s.Net.routerOut[e.U][e.V]; !ok {
+			t.Fatalf("reported edge %d has no router-router entry", id)
+		}
+	}
+	// Asking for more than the failable supply fails everything failable
+	// and stops, instead of looping or overcounting.
+	s.Net.HealAllLinks()
+	all := s.Net.FailRandomLinks(sf.G.M(), graph.NewRand(17))
+	if got, wantAll := len(all), sf.G.M()-unfailable; got != wantAll {
+		t.Fatalf("graph-exhausting request failed %d links, want all %d failable", got, wantAll)
+	}
+}
+
 func TestHealAllLinks(t *testing.T) {
 	cfg := NDPDefaults()
 	s, sf := sfSim(t, 5, 2, 0.8, cfg, 6)

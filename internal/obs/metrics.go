@@ -36,6 +36,19 @@ const (
 	MetricScenarioCacheBytesOut = "scenario.cache_bytes_written"
 )
 
+// Fabric-daemon metric names (cmd/fatpathsd / internal/serve).
+const (
+	MetricServeRequests        = "fatpathsd.requests"
+	MetricServeErrors          = "fatpathsd.request_errors"
+	MetricServeLatencyMs       = "fatpathsd.request_latency_ms"
+	MetricServeFabricHits      = "fatpathsd.fabric_cache_hits"
+	MetricServeFabricMisses    = "fatpathsd.fabric_cache_misses"
+	MetricServeFabricEvicts    = "fatpathsd.fabric_cache_evictions"
+	MetricServeFabricsResident = "fatpathsd.fabrics_resident"
+	MetricServeWhatifViews     = "fatpathsd.whatif_views_derived"
+	MetricServeScenarioRuns    = "fatpathsd.scenario_runs"
+)
+
 // Routing-core metric names.
 const (
 	MetricRoutingTablesBuilt   = "routing.tables_built"
@@ -154,6 +167,54 @@ func NewScenarioMetrics(r *Registry) *ScenarioMetrics {
 		CellsResumed:      r.Counter(MetricScenarioCellsResumed),
 		CacheBytesRead:    r.Counter(MetricScenarioCacheBytesIn),
 		CacheBytesWritten: r.Counter(MetricScenarioCacheBytesOut),
+	}
+}
+
+// RequestLatencyBucketsMs are the daemon request-latency histogram bounds
+// in milliseconds: log-spaced from microsecond-class lock-free table reads
+// to multi-second fabric builds and scenario runs.
+var RequestLatencyBucketsMs = []float64{
+	0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1, 2, 5, 10,
+	20, 50, 100, 200, 500, 1000, 2000, 5000, 10000,
+}
+
+// ServeMetrics is the fabric daemon's bundle: request volume and latency,
+// resident-fabric LRU effectiveness, and per-request what-if view volume.
+type ServeMetrics struct {
+	// Requests counts every handled HTTP request; Errors counts the ones
+	// answered with a 4xx/5xx status; LatencyMs digests wall-clock request
+	// latency (observational only — never feeds an answer).
+	Requests  *Counter
+	Errors    *Counter
+	LatencyMs *Histogram
+	// FabricHits/FabricMisses/FabricEvictions count resident-fabric LRU
+	// lookups; FabricsResident gauges the current cache population.
+	FabricHits      *Counter
+	FabricMisses    *Counter
+	FabricEvictions *Counter
+	FabricsResident *Gauge
+	// WhatifViews counts copy-on-write WithoutEdges views derived for
+	// /whatif requests; ScenarioRuns counts /scenarios submissions.
+	WhatifViews  *Counter
+	ScenarioRuns *Counter
+}
+
+// NewServeMetrics returns the daemon bundle backed by r, or nil (the
+// disabled bundle) when r is nil.
+func NewServeMetrics(r *Registry) *ServeMetrics {
+	if r == nil {
+		return nil
+	}
+	return &ServeMetrics{
+		Requests:        r.Counter(MetricServeRequests),
+		Errors:          r.Counter(MetricServeErrors),
+		LatencyMs:       r.Histogram(MetricServeLatencyMs, RequestLatencyBucketsMs),
+		FabricHits:      r.Counter(MetricServeFabricHits),
+		FabricMisses:    r.Counter(MetricServeFabricMisses),
+		FabricEvictions: r.Counter(MetricServeFabricEvicts),
+		FabricsResident: r.Gauge(MetricServeFabricsResident),
+		WhatifViews:     r.Counter(MetricServeWhatifViews),
+		ScenarioRuns:    r.Counter(MetricServeScenarioRuns),
 	}
 }
 

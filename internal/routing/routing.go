@@ -336,6 +336,22 @@ func (e *Engine) WithoutEdges(failed []int) *Engine {
 			}
 			mask[id] = on
 		}
+		if len(removed) == 0 {
+			// None of the failed edges were live in this layer: the layer is
+			// untouched, so the parent's mask (immutable by contract) and
+			// every built table are shared wholesale. This keeps the
+			// per-derivation cost of an unaffected layer at O(M) mask scan
+			// instead of O(M) copy + O(Nr) table checks — the hot shape for
+			// a daemon deriving a what-if view per request.
+			out.masks[l] = old
+			for d := 0; d < e.nr; d++ {
+				if t := e.tables[l*e.nr+d].Load(); t != nil {
+					shared++
+					out.tables[l*e.nr+d].Store(t)
+				}
+			}
+			continue
+		}
 		out.masks[l] = mask
 		for d := 0; d < e.nr; d++ {
 			t := e.tables[l*e.nr+d].Load()

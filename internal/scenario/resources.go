@@ -1,0 +1,68 @@
+package scenario
+
+// Exported resource builders for serving layers that keep fabrics
+// resident outside a sweep (cmd/fatpathsd). A fabric built here is
+// byte-identical to the one RunSpecs would build for the same cell: the
+// topology and layer seeds fold from the run seed and the same canonical
+// resource keys, so a daemon answering /nexthop from a resident fabric
+// and an offline engine at the same seed give identical answers — the
+// serving side of the determinism contract.
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/topo"
+)
+
+// FabricKey is the canonical resource key of the cell's fabric: the
+// effective seed plus the fabric-defining axes (topology, layers, rho,
+// construction). Cells with equal fabric keys share one built fabric —
+// inside a run via the once-cache, across requests via the daemon's LRU.
+func (s Spec) FabricKey(runSeed int64) string {
+	return fmt.Sprintf("%d|%s", s.effectiveSeed(runSeed), s.routingKey())
+}
+
+// topologyCacheKey keys the per-run topology once-cache. Like FabricKey
+// it carries the effective seed: cells overriding Spec.Seed must not
+// share artifacts with cells building the same topology from a different
+// seed.
+func (s Spec) topologyCacheKey(runSeed int64) string {
+	return fmt.Sprintf("%d|%s", s.effectiveSeed(runSeed), s.Topology.key())
+}
+
+// BuildTopology builds the cell's topology at its canonical folded seed —
+// exactly the topology RunSpecs would build for this cell.
+func BuildTopology(s Spec, runSeed int64) (*topo.Topology, error) {
+	seed := s.effectiveSeed(runSeed)
+	return s.Topology.build(seedFor(seed, "topo|"+s.Topology.key()))
+}
+
+// BuildFabricOn equips a built topology with the cell's layer set and
+// routing engine at the canonical folded layer seed. reg, when non-nil,
+// instruments the fabric (routing-core and simulator telemetry).
+func BuildFabricOn(s Spec, t *topo.Topology, runSeed int64, reg *obs.Registry) (*core.Fabric, error) {
+	seed := s.effectiveSeed(runSeed)
+	conf := coreConfig(s, t, seedFor(seed, "layers|"+s.routingKey()))
+	conf.Obs = reg
+	return core.Build(t, conf)
+}
+
+// BuildFabric builds the cell's topology and fabric in one step — the
+// daemon's miss path. Equal (FabricKey, fingerprint) always yields a
+// behaviorally identical fabric.
+func BuildFabric(s Spec, runSeed int64, reg *obs.Registry) (*topo.Topology, *core.Fabric, error) {
+	if err := s.Validate(); err != nil {
+		return nil, nil, err
+	}
+	t, err := BuildTopology(s, runSeed)
+	if err != nil {
+		return nil, nil, err
+	}
+	fab, err := BuildFabricOn(s, t, runSeed, reg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return t, fab, nil
+}

@@ -133,7 +133,7 @@ func newCaches() *caches {
 	return &caches{topo: map[string]*topoEntry{}, fab: map[string]*fabEntry{}}
 }
 
-func (c *caches) topology(key string, ts Topology, seed int64) (*topo.Topology, error) {
+func (c *caches) topology(key string, build func() (*topo.Topology, error)) (*topo.Topology, error) {
 	c.mu.Lock()
 	e, ok := c.topo[key]
 	if !ok {
@@ -141,7 +141,7 @@ func (c *caches) topology(key string, ts Topology, seed int64) (*topo.Topology, 
 		c.topo[key] = e
 	}
 	c.mu.Unlock()
-	e.once.Do(func() { e.t, e.err = ts.build(seed) })
+	e.once.Do(func() { e.t, e.err = build() })
 	return e.t, e.err
 }
 
@@ -212,19 +212,20 @@ func runCell(s Spec, cc *caches, o RunOptions, traced bool) (CellResult, error) 
 	if err := s.Validate(); err != nil {
 		return CellResult{}, err
 	}
-	// Cache keys carry the effective run seed: cells overriding Spec.Seed
-	// must not share artifacts with (or race against) cells building the
-	// same topology or fabric from a different seed.
-	seedKey := fmt.Sprintf("%d|", runSeed)
-	t, err := cc.topology(seedKey+s.Topology.key(), s.Topology, seedFor(runSeed, "topo|"+s.Topology.key()))
+	// Cache keys carry the effective run seed (see topologyCacheKey /
+	// FabricKey): cells overriding Spec.Seed must not share artifacts with
+	// (or race against) cells building the same topology or fabric from a
+	// different seed. The builders are the exported resource constructors
+	// (resources.go) the fabric daemon shares, so a resident daemon fabric
+	// and a sweep fabric with equal keys are behaviorally identical.
+	t, err := cc.topology(s.topologyCacheKey(o.Seed), func() (*topo.Topology, error) {
+		return BuildTopology(s, o.Seed)
+	})
 	if err != nil {
 		return CellResult{}, err
 	}
-	layerSeed := seedFor(runSeed, "layers|"+s.routingKey())
-	conf := coreConfig(s, t, layerSeed)
-	conf.Obs = o.Obs
-	fab, err := cc.fabric(seedKey+s.routingKey(), func() (*core.Fabric, error) {
-		return core.Build(t, conf)
+	fab, err := cc.fabric(s.FabricKey(o.Seed), func() (*core.Fabric, error) {
+		return BuildFabricOn(s, t, o.Seed, o.Obs)
 	})
 	if err != nil {
 		return CellResult{}, err
@@ -258,7 +259,7 @@ func runCell(s Spec, cc *caches, o RunOptions, traced bool) (CellResult, error) 
 
 	res := CellResult{
 		Spec: s, TopoName: t.Name, TopoN: t.N(),
-		Layers: conf.NumLayers, Rho: conf.Rho, FailedLinks: nFail,
+		Layers: fab.Cfg.NumLayers, Rho: fab.Cfg.Rho, FailedLinks: nFail,
 	}
 	var thr, fct stats.Sample
 	done := 0

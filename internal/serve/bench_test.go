@@ -1,0 +1,149 @@
+package serve
+
+// The daemon load harness: a concurrent query storm driven straight into
+// the handler (no sockets, so the numbers measure the serving path, not
+// the kernel), with per-request latencies digested into the percentiles
+// CI archives as BENCH_daemon.json. The companion race test runs the same
+// mixed workload under -race with answer checking.
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// mixedRequest issues one request from the load mix: mostly lock-free
+// /nexthop reads over varying triples, some /paths walks, an occasional
+// copy-on-write /whatif derivation, and a /healthz probe.
+func mixedRequest(t testing.TB, s *Server, n int) (int, []byte) {
+	nr := 50 // SF q=5
+	src, dst := n%nr, (n*7+13)%nr
+	if src == dst {
+		dst = (dst + 1) % nr
+	}
+	switch {
+	case n%16 == 15:
+		body := fmt.Sprintf(
+			`{"fabric":{"topology":{"kind":"SF","param":5},"layers":2,"rho":0.7},"failedEdges":[%d],"queries":[{"layer":%d,"src":%d,"dst":%d}]}`,
+			n%100, n%2, src, dst)
+		return post(t, s, "/whatif", body)
+	case n%16 == 7:
+		return get(t, s, fmt.Sprintf("/paths?%s&src=%d&dst=%d", testFabricQ, src, dst))
+	case n%64 == 0:
+		return get(t, s, "/healthz")
+	default:
+		return get(t, s, fmt.Sprintf("/nexthop?%s&layer=%d&src=%d&dst=%d", testFabricQ, n%2, src, dst))
+	}
+}
+
+// TestDaemonConcurrentQueries hammers one resident fabric from many
+// goroutines with the mixed workload — the suite's -race harness for the
+// serving path — and checks answers stay deterministic under fire by
+// comparing a pinned query before and during the storm.
+func TestDaemonConcurrentQueries(t *testing.T) {
+	s := testServer(t, Config{MaxFabrics: 2})
+	pinned := "/nexthop?" + testFabricQ + "&layer=1&src=3&dst=17"
+	_, want := get(t, s, pinned)
+
+	workers := 16
+	perWorker := 128
+	if testing.Short() {
+		workers, perWorker = 4, 32
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				n := w*perWorker + i
+				if code, body := mixedRequest(t, s, n); code != http.StatusOK {
+					t.Errorf("request %d: status %d: %s", n, code, body)
+					return
+				}
+				if n%100 == 17 {
+					if _, got := get(t, s, pinned); !bytes.Equal(got, want) {
+						t.Errorf("pinned answer drifted under load: %s vs %s", got, want)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	snap := s.reg.Snapshot()
+	if snap[obs.MetricServeErrors] != 0 {
+		t.Fatalf("%d request errors under load", snap[obs.MetricServeErrors])
+	}
+	wantReqs := int64(workers*perWorker) + 1 + int64(workers*perWorker/100)
+	if snap[obs.MetricServeRequests] < wantReqs {
+		t.Fatalf("requests %d, want >= %d", snap[obs.MetricServeRequests], wantReqs)
+	}
+}
+
+// BenchmarkDaemonQueries is the load harness behind BENCH_daemon.json:
+// 10,000 concurrent mixed queries per iteration against a warm daemon,
+// reporting throughput and client-observed latency percentiles.
+func BenchmarkDaemonQueries(b *testing.B) {
+	s := testServer(b, Config{MaxFabrics: 2})
+	if code, body := get(b, s, "/nexthop?"+testFabricQ+"&src=0&dst=1"); code != http.StatusOK {
+		b.Fatalf("warmup: status %d: %s", code, body)
+	}
+
+	const total = 10_000
+	const workers = 64
+	lat := make([]time.Duration, total)
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					n := int(next.Add(1)) - 1
+					if n >= total {
+						return
+					}
+					start := time.Now()
+					if code, body := mixedRequest(b, s, n); code != http.StatusOK {
+						b.Errorf("request %d: status %d: %s", n, code, body)
+						return
+					}
+					lat[n] = time.Since(start)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	if b.Failed() {
+		return
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	b.ReportMetric(float64(total), "queries/op")
+	b.ReportMetric(us(lat[total/2]), "p50-µs")
+	b.ReportMetric(us(lat[total*99/100]), "p99-µs")
+	b.ReportMetric(us(lat[total-1]), "max-µs")
+	if snap := s.reg.Snapshot(); snap[obs.MetricServeErrors] != 0 {
+		b.Fatalf("%d request errors", snap[obs.MetricServeErrors])
+	}
+	// The daemon-side latency histogram saw every request; sanity-check the
+	// observability path agrees with the client-side clock on volume.
+	h := s.reg.Histogram(obs.MetricServeLatencyMs, obs.RequestLatencyBucketsMs)
+	if h.Count() < int64(total*b.N) {
+		b.Fatalf("latency histogram saw %d requests, want >= %d", h.Count(), total*b.N)
+	}
+}
